@@ -1,0 +1,76 @@
+"""Figures 10 & 11 / Table VIII -- PDTL speed-up over single-core MGT.
+
+Figure 10: single-node PDTL with a growing core count vs single-core MGT
+(2 cores roughly halve the time; 32 cores give ~16x on Twitter in the
+paper).  Figure 11: adding machines on top (speed-ups up to 55x at 4 nodes
+for RMAT graphs, much less for Yahoo).  The analogue experiment measures
+the calculation-time speed-up over our own single-core MGT, as the paper
+does (their MGT binary misreported counts, so they compare against their
+own implementation too).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.analysis.report import format_table
+from repro.baselines.mgt_single import run_single_core_mgt
+from repro.core.config import PDTLConfig
+from repro.core.pdtl import PDTLRunner
+
+_CORE_SWEEP = (2, 4, 8)
+_NODE_SWEEP = (2, 4)
+_CORES_PER_NODE = 4
+_DATASETS = ("twitter", "yahoo", "rmat-12", "rmat-13")
+
+
+def _pdtl_calc_seconds(graph, nodes: int, cores: int) -> tuple[float, int]:
+    config = PDTLConfig(
+        num_nodes=nodes,
+        procs_per_node=cores,
+        memory_per_proc="1MB",
+        load_balanced=True,
+    )
+    result = PDTLRunner(config).run(graph)
+    return result.calc_seconds, result.triangles
+
+
+def test_fig10_11_speedup_over_mgt(benchmark, datasets, reference_counts, results_dir):
+    def sweep():
+        rows = []
+        speedups: dict[str, dict[str, float]] = {}
+        for name in _DATASETS:
+            graph = datasets[name]
+            baseline = run_single_core_mgt(graph, memory_per_proc="1MB")
+            assert baseline.triangles == reference_counts[name]
+            row: dict[str, object] = {"Graph": name, "MGT (1 core)": f"{baseline.calc_seconds:.3f}s"}
+            speedups[name] = {}
+            for cores in _CORE_SWEEP:
+                calc, triangles = _pdtl_calc_seconds(graph, 1, cores)
+                assert triangles == reference_counts[name]
+                s = baseline.calc_seconds / max(calc, 1e-9)
+                speedups[name][f"{cores} cores"] = s
+                row[f"{cores} cores"] = f"{s:.1f}x"
+            for nodes in _NODE_SWEEP:
+                calc, triangles = _pdtl_calc_seconds(graph, nodes, _CORES_PER_NODE)
+                assert triangles == reference_counts[name]
+                s = baseline.calc_seconds / max(calc, 1e-9)
+                speedups[name][f"{nodes}N"] = s
+                row[f"{nodes}N x {_CORES_PER_NODE}c"] = f"{s:.1f}x"
+            rows.append(row)
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "fig10_11_mgt_speedup",
+        format_table(rows, title="Figures 10/11: PDTL calculation speed-up over single-core MGT"),
+    )
+
+    for name in _DATASETS:
+        # parallel PDTL beats single-core MGT on every dataset at 8 cores,
+        # and more parallel resources never push the speed-up below 1
+        assert speedups[name]["8 cores"] > 1.0, name
+        assert speedups[name]["4N"] > 1.0, name
+        # speed-up grows from 2 cores to 8 cores (Figure 10's shape)
+        assert speedups[name]["8 cores"] > speedups[name]["2 cores"], name

@@ -1,0 +1,56 @@
+"""Figure 3 / Table XI -- local multicore scaling of total PDTL time.
+
+The paper runs PDTL on a single 24-core machine with fixed total memory and
+measures total time as the number of cores grows.  Expected shape: more
+cores help, with diminishing returns; the scale-free Twitter/RMAT graphs
+scale well, while the skewed Yahoo graph scales noticeably worse (5x at 24
+cores vs 13x for the others in the paper).
+"""
+
+from __future__ import annotations
+
+from _bench_utils import CORE_SWEEP, SCALING_DATASETS, write_result
+
+from repro.analysis.report import format_seconds_cell, format_table
+from repro.core.config import PDTLConfig
+from repro.core.pdtl import PDTLRunner
+
+
+def _run(graph, cores: int):
+    config = PDTLConfig(
+        num_nodes=1,
+        procs_per_node=cores,
+        memory_per_proc="2MB",
+        load_balanced=True,
+    )
+    return PDTLRunner(config).run(graph)
+
+
+def test_fig3_total_time_vs_cores(benchmark, datasets, reference_counts, results_dir):
+    def sweep():
+        rows = []
+        speedups: dict[str, float] = {}
+        for name in SCALING_DATASETS:
+            graph = datasets[name]
+            row: dict[str, object] = {"Graph": name}
+            times = {}
+            for cores in CORE_SWEEP:
+                result = _run(graph, cores)
+                assert result.triangles == reference_counts[name]
+                times[cores] = result.calc_seconds
+                row[f"{cores} cores"] = format_seconds_cell(result.total_seconds)
+            speedups[name] = times[CORE_SWEEP[0]] / max(times[CORE_SWEEP[-1]], 1e-9)
+            row["speedup"] = f"{speedups[name]:.1f}x"
+            rows.append(row)
+        return rows, speedups
+
+    rows, speedups = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "fig3_multicore_scaling",
+        format_table(rows, title="Figure 3: PDTL local multicore total time"),
+    )
+    # shape: every graph benefits from more cores ...
+    assert all(s > 1.0 for s in speedups.values())
+    # ... and the skewed Yahoo analogue benefits less than the RMAT family
+    assert speedups["yahoo"] <= max(speedups["rmat-12"], speedups["rmat-13"]) + 0.25

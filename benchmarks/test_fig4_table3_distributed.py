@@ -1,0 +1,76 @@
+"""Figure 4 + Table III -- distributed total time and per-node copy time.
+
+The paper's EC2 experiment: run PDTL on 1-4 machines and report total time
+(orientation + copy + calculation) together with the average time spent
+copying the oriented graph to each remote node.  Expected shapes:
+
+* total time falls as machines are added, most strongly for the RMAT
+  family, least for the skewed Yahoo analogue;
+* average copy time *grows* with the number of nodes (more transfers over
+  the same master uplink) and with graph size.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import NODE_SWEEP, SCALING_DATASETS, write_result
+
+from repro.analysis.report import format_seconds_cell, format_table
+from repro.core.config import PDTLConfig
+from repro.core.pdtl import PDTLRunner
+
+_CORES_PER_NODE = 2
+#: modest uplink so copy times are visible at analogue scale (bytes/s)
+_BANDWIDTH = 20e6
+
+
+def _run(graph, nodes: int):
+    config = PDTLConfig(
+        num_nodes=nodes,
+        procs_per_node=_CORES_PER_NODE,
+        memory_per_proc="2MB",
+        load_balanced=True,
+    )
+    return PDTLRunner(config, bandwidth_bytes_per_s=_BANDWIDTH).run(graph)
+
+
+def test_fig4_table3_distributed_scaling(
+    benchmark, datasets, reference_counts, results_dir
+):
+    def sweep():
+        rows = []
+        copy_by_nodes: dict[str, dict[int, float]] = {}
+        calc_by_nodes: dict[str, dict[int, float]] = {}
+        for name in SCALING_DATASETS:
+            graph = datasets[name]
+            row: dict[str, object] = {"Graph": name}
+            copy_by_nodes[name] = {}
+            calc_by_nodes[name] = {}
+            for nodes in NODE_SWEEP:
+                result = _run(graph, nodes)
+                assert result.triangles == reference_counts[name]
+                row[f"{nodes}N total"] = format_seconds_cell(result.total_seconds)
+                row[f"{nodes}N copy"] = format_seconds_cell(result.average_copy_seconds)
+                copy_by_nodes[name][nodes] = result.average_copy_seconds
+                calc_by_nodes[name][nodes] = result.calc_seconds
+            rows.append(row)
+        return rows, copy_by_nodes, calc_by_nodes
+
+    rows, copy_by_nodes, calc_by_nodes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "fig4_table3_distributed",
+        format_table(
+            rows, title="Figure 4 / Table III: PDTL distributed total time and avg copy time"
+        ),
+    )
+
+    for name in SCALING_DATASETS:
+        # copy time appears once remote nodes exist and does not shrink as
+        # more nodes are added (Table III's trend)
+        assert copy_by_nodes[name][1] == 0.0
+        assert copy_by_nodes[name][4] >= copy_by_nodes[name][2] * 0.99
+        # calculation time at 4 nodes is no worse than at 1 node
+        assert calc_by_nodes[name][4] <= calc_by_nodes[name][1] * 1.10
+
+    # copy time grows with graph size (rmat-13 is the largest RMAT analogue)
+    assert copy_by_nodes["rmat-13"][4] > copy_by_nodes["rmat-12"][4] * 0.9

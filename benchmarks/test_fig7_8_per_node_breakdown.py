@@ -1,0 +1,72 @@
+"""Figures 7 & 8 / Table IV -- per-node CPU and I/O breakdown.
+
+The paper slices the distributed runs by node: for Twitter the
+load-balancing works well and the per-node CPU times are close to each
+other, while for the heavily skewed Yahoo graph the discrepancy between
+nodes is much larger (87-130% in Table IV) and the node with the most CPU
+work also performs the most I/O.  The same per-node tables are produced
+here, plus the imbalance ratio that summarises them.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_result
+
+from repro.analysis.report import format_seconds_cell, format_table
+from repro.core.config import PDTLConfig
+from repro.core.pdtl import PDTLRunner
+
+_CORES_PER_NODE = 2
+
+
+def _run(graph, nodes: int):
+    config = PDTLConfig(
+        num_nodes=nodes,
+        procs_per_node=_CORES_PER_NODE,
+        memory_per_proc="1MB",
+        load_balanced=True,
+    )
+    return PDTLRunner(config).run(graph)
+
+
+def test_fig7_8_per_node_breakdown(benchmark, datasets, reference_counts, results_dir):
+    def sweep():
+        rows = []
+        imbalance: dict[tuple[str, int], float] = {}
+        for name in ("twitter", "yahoo", "rmat-12"):
+            graph = datasets[name]
+            for nodes in (2, 4):
+                result = _run(graph, nodes)
+                assert result.triangles == reference_counts[name]
+                imbalance[(name, nodes)] = result.metrics.imbalance_ratio()
+                for node_row in result.node_breakdown():
+                    rows.append(
+                        {
+                            "Graph": name,
+                            "Cluster": f"{nodes} nodes",
+                            "Node": int(node_row["node"]),
+                            "CPU": format_seconds_cell(node_row["cpu_seconds"]),
+                            "I/O": format_seconds_cell(node_row["io_seconds"]),
+                            "Triangles": int(node_row["triangles"]),
+                        }
+                    )
+        return rows, imbalance
+
+    rows, imbalance = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(rows, title="Figures 7/8, Table IV: per-node CPU and I/O breakdown")
+    summary_rows = [
+        {"Graph": name, "Nodes": nodes, "max/min node calc time": f"{ratio:.2f}"}
+        for (name, nodes), ratio in sorted(imbalance.items())
+    ]
+    summary = format_table(summary_rows, title="Per-node imbalance (max/min calculation time)")
+    write_result(results_dir, "fig7_8_per_node_breakdown", table + "\n\n" + summary)
+
+    # The paper's Yahoo-much-worse-than-Twitter ordering depends on the real
+    # Yahoo webgraph's extreme skew and is only partially visible at analogue
+    # scale (see EXPERIMENTS.md), so the assertions stick to the properties
+    # that are deterministic here: every ratio is a valid >= 1 imbalance, the
+    # breakdown covers every node, and some measurable imbalance exists on
+    # the skewed real-graph analogues.
+    assert all(ratio >= 1.0 for ratio in imbalance.values())
+    assert len(rows) == (2 + 4) * 3  # 2-node + 4-node breakdowns for 3 graphs
+    assert max(imbalance[("twitter", 4)], imbalance[("yahoo", 4)]) > 1.02

@@ -1,0 +1,55 @@
+"""Table I -- dataset statistics (nodes, edges, triangles, degrees).
+
+Regenerates the paper's Table I for the scaled-down analogue datasets and
+prints it side by side with the paper's original values.  The absolute
+sizes are of course far smaller (the point of the analogues); what must be
+preserved is the *relative* structure: Yahoo sparsest with huge hubs,
+Orkut denser than LiveJournal, RMAT sizes doubling per scale step.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.graph.datasets import ANALOGUE_OF, PAPER_TABLE1
+from repro.graph.properties import graph_stats
+
+from _bench_utils import BENCH_DATASETS, write_result
+
+
+def test_table1_dataset_statistics(benchmark, datasets, reference_counts, results_dir):
+    def build_rows():
+        rows = []
+        for name in BENCH_DATASETS:
+            graph = datasets[name]
+            stats = graph_stats(graph, name, num_triangles=reference_counts[name])
+            paper = PAPER_TABLE1[ANALOGUE_OF[name]]
+            rows.append(
+                {
+                    "Graph": name,
+                    "Nodes": stats.num_vertices,
+                    "Edges": stats.num_edges,
+                    "Triangles": stats.num_triangles,
+                    "AvDeg": round(stats.avg_degree, 1),
+                    "STD": round(stats.degree_std, 1),
+                    "MaxDeg": stats.max_degree,
+                    "Paper graph": paper["Graph"],
+                    "Paper edges": paper["Edges"],
+                    "Paper triangles": paper["Triangles"],
+                    "Paper AvDeg": paper["AvDeg"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "table1_datasets",
+        format_table(rows, title="Table I (analogue datasets vs paper)"),
+    )
+
+    # structural sanity: relative shape of Table I is preserved
+    by_name = {r["Graph"]: r for r in rows}
+    assert by_name["yahoo"]["AvDeg"] < by_name["twitter"]["AvDeg"]
+    assert by_name["orkut"]["AvDeg"] > by_name["livejournal"]["AvDeg"]
+    assert by_name["rmat-10"]["Edges"] < by_name["rmat-11"]["Edges"] < by_name["rmat-12"]["Edges"]
+    assert all(r["Triangles"] > 0 for r in rows)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Social-network analysis: clustering coefficients, transitivity, sybil hints.
+
+The paper's introduction motivates triangle listing with social-network
+metrics: the clustering coefficient and transitivity ratio identify
+high-density vertices, and anomalously *low* clustering at high degree is a
+classic signal of fake ("sybil") accounts that befriend many unrelated
+users.  This example computes those metrics on a LiveJournal-like analogue
+graph using PDTL's per-vertex triangle counts.
+
+Run it with:  python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PDTLConfig, PDTLRunner
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load_dataset
+from repro.graph.edgelist import EdgeList
+from repro.graph.properties import clustering_coefficient, transitivity
+from repro.utils import as_rng
+
+
+def inject_sybil_accounts(graph: CSRGraph, num_sybils: int, degree: int, seed: int = 0) -> CSRGraph:
+    """Add vertices that befriend many random users but close no triangles.
+
+    Real users' friends tend to know each other (high clustering); a sybil's
+    randomly harvested contacts rarely do, which is exactly the signature the
+    detection step below looks for.
+    """
+    rng = as_rng(seed)
+    n = graph.num_vertices
+    edges = [graph.edge_array()]
+    new_edges = []
+    for s in range(num_sybils):
+        sybil = n + s
+        targets = rng.choice(n, size=degree, replace=False)
+        for t in targets:
+            new_edges.append((sybil, int(t)))
+    edges.append(np.array(new_edges, dtype=np.int64))
+    combined = EdgeList(np.vstack(edges), n + num_sybils)
+    return CSRGraph.from_edgelist(combined)
+
+
+def main() -> None:
+    # A LiveJournal-like analogue: community-structured, triangle rich.
+    base = load_dataset("livejournal", seed=7)
+    print(f"base graph: {base.num_vertices} users, {base.num_undirected_edges} friendships")
+
+    # Plant a handful of sybil accounts with many random friendships.
+    num_sybils = 15
+    graph = inject_sybil_accounts(base, num_sybils=num_sybils, degree=60, seed=3)
+    sybil_ids = set(range(base.num_vertices, graph.num_vertices))
+
+    # ------------------------------------------------------------------ #
+    # Per-vertex triangle counts through the full PDTL pipeline.
+    # ------------------------------------------------------------------ #
+    config = PDTLConfig(num_nodes=1, procs_per_node=4, memory_per_proc="4MB")
+    result = PDTLRunner(config, backend="threads").run(graph, sink_kind="per-vertex")
+    triangles_per_vertex = result.per_vertex_counts
+    print(f"total triangles: {result.triangles}")
+
+    # ------------------------------------------------------------------ #
+    # Clustering coefficient and transitivity (Watts–Strogatz / Newman).
+    # ------------------------------------------------------------------ #
+    coeffs = clustering_coefficient(graph, triangles_per_vertex)
+    global_transitivity = transitivity(graph, result.triangles)
+    honest_mask = np.ones(graph.num_vertices, dtype=bool)
+    honest_mask[list(sybil_ids)] = False
+    print(f"global transitivity          : {global_transitivity:.4f}")
+    print(f"mean clustering (honest)     : {coeffs[honest_mask].mean():.4f}")
+    print(f"mean clustering (sybils)     : {coeffs[~honest_mask].mean():.4f}")
+
+    # ------------------------------------------------------------------ #
+    # Rank high-degree vertices by clustering coefficient: sybils sink to
+    # the bottom because their neighbourhoods close almost no triangles.
+    # ------------------------------------------------------------------ #
+    degrees = graph.degrees
+    candidates = np.where(degrees >= 40)[0]
+    ranked = sorted(candidates, key=lambda v: coeffs[v])
+    flagged = ranked[: 2 * num_sybils]
+    caught = sum(1 for v in flagged if v in sybil_ids)
+    print(f"\nflagged the {len(flagged)} least-clustered high-degree accounts;")
+    print(f"{caught}/{num_sybils} planted sybils are among them")
+
+    print("\nlowest-clustering high-degree accounts:")
+    for v in ranked[:10]:
+        marker = "SYBIL" if v in sybil_ids else "     "
+        print(f"  {marker} vertex {v:6d}: degree {int(degrees[v]):4d}, "
+              f"triangles {int(triangles_per_vertex[v]):5d}, clustering {coeffs[v]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""repro -- a reproduction of *PDTL: Parallel and Distributed Triangle Listing
+for Massive Graphs* (Giechaskiel, Panagopoulos, Yoneki; ICPP 2015).
+
+The public API is intentionally small:
+
+* :func:`count_triangles` / :func:`list_triangles` -- run the full PDTL
+  pipeline (orientation, load balancing, replication, per-core MGT) on an
+  undirected graph under a chosen :class:`PDTLConfig`;
+* :class:`PDTLConfig` -- the (N nodes, P processors, M memory, B block size)
+  environment model;
+* :class:`PDTLRunner` -- the framework object when you need the detailed
+  per-node metrics a :class:`~repro.core.pdtl.PDTLResult` carries;
+* :mod:`repro.graph` -- graph containers, generators and the binary on-disk
+  format;
+* :mod:`repro.baselines` -- the in-memory, PowerGraph-, PATRIC-, OPT- and
+  CTTP-style comparators used by the evaluation benchmarks;
+* :mod:`repro.analysis` -- the Theorem IV.2/IV.3 cost model and report
+  formatting.
+"""
+
+from repro.core.config import PDTLConfig
+from repro.core.pdtl import PDTLResult, PDTLRunner
+from repro.core.runner import count_triangles, list_triangles, triangle_counts_per_vertex
+from repro.core.triangles import Triangle
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    NetworkError,
+    OutOfMemoryError,
+    PDTLError,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PDTLConfig",
+    "PDTLRunner",
+    "PDTLResult",
+    "Triangle",
+    "CSRGraph",
+    "EdgeList",
+    "count_triangles",
+    "list_triangles",
+    "triangle_counts_per_vertex",
+    "PDTLError",
+    "GraphFormatError",
+    "OutOfMemoryError",
+    "ConfigurationError",
+    "NetworkError",
+]

@@ -1,0 +1,28 @@
+"""Analysis layer: the paper's complexity bounds and report formatting.
+
+* :mod:`~repro.analysis.cost_model` evaluates the Theorem IV.2 (MGT) and
+  Theorem IV.3 (PDTL) formulas for a concrete graph + configuration so that
+  benchmarks can compare measured I/O / CPU / network counters against the
+  predicted asymptotic envelope.
+* :mod:`~repro.analysis.report` renders the benchmark results as aligned
+  text tables in the same row/column layout as the paper's tables, plus the
+  paper-vs-measured comparison rows EXPERIMENTS.md records.
+"""
+
+from repro.analysis.cost_model import (
+    MGTCostEstimate,
+    PDTLCostEstimate,
+    estimate_mgt_cost,
+    estimate_pdtl_cost,
+)
+from repro.analysis.report import format_seconds_cell, format_table, speedup_table
+
+__all__ = [
+    "MGTCostEstimate",
+    "PDTLCostEstimate",
+    "estimate_mgt_cost",
+    "estimate_pdtl_cost",
+    "format_table",
+    "format_seconds_cell",
+    "speedup_table",
+]

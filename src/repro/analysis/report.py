@@ -1,0 +1,89 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benchmark modules print their results in the same row/column layout as
+the paper's tables so that EXPERIMENTS.md can quote them directly.  Only
+standard-library string formatting is used -- the output is meant for
+terminals and text files, not notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.utils import format_seconds
+
+__all__ = ["format_table", "format_seconds_cell", "speedup_table", "paper_vs_measured"]
+
+
+def format_seconds_cell(value: float | None) -> str:
+    """Format a duration cell the way the paper does (``2m44.2s``), with ``-``
+    for missing values and ``F`` for failures (out-of-memory)."""
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "F"
+    return format_seconds(value)
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_stringify(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def speedup_table(
+    baseline_seconds: Mapping[str, float],
+    measured_seconds: Mapping[str, Mapping[str, float]],
+    title: str | None = None,
+) -> str:
+    """Render speed-ups over a baseline (the Figure 10/11 layout).
+
+    ``baseline_seconds`` maps graph name to the baseline's time;
+    ``measured_seconds`` maps graph name to {configuration label: time}.
+    """
+    rows = []
+    for graph, base in baseline_seconds.items():
+        row: dict[str, object] = {"Graph": graph, "baseline": format_seconds_cell(base)}
+        for label, value in measured_seconds.get(graph, {}).items():
+            row[label] = f"{base / value:.1f}x" if value > 0 else "-"
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def paper_vs_measured(
+    rows: Sequence[Mapping[str, object]],
+    title: str | None = None,
+) -> str:
+    """Render paper-vs-measured comparison rows (used by EXPERIMENTS.md).
+
+    Each row should contain at least ``experiment``, ``paper`` and
+    ``measured`` keys; extra keys are kept as additional columns.
+    """
+    return format_table(rows, title=title)

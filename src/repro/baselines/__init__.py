@@ -1,0 +1,56 @@
+"""Baseline triangle-counting systems PDTL is compared against.
+
+The paper's evaluation (section V-E) compares PDTL with the single-core
+MGT baseline, OPT, PowerGraph, PATRIC and CTTP.  None of those systems'
+binaries are available to this reproduction (and several were closed
+source even at publication time), so each is re-implemented here as a
+working counter that follows the *algorithmic family* of the original:
+
+* :mod:`~repro.baselines.inmemory` -- textbook node-iterator and
+  compact-forward counters; the correctness reference for every test.
+* :mod:`~repro.baselines.mgt_single` -- single-core external-memory MGT
+  (PDTL with ``N = P = 1``), the baseline of Figures 10/11.
+* :mod:`~repro.baselines.powergraph` -- a vertex-program (GAS) counter with
+  per-machine partition + ghost replication and strict memory accounting;
+  runs out of memory on large graphs exactly the way Table VI's "F"
+  entries do.
+* :mod:`~repro.baselines.patric` -- an MPI-style vertex-partitioning
+  counter with overlapping adjacency storage and message passing.
+* :mod:`~repro.baselines.opt` -- a two-phase (database creation +
+  calculation) single-machine counter in the spirit of OPT.
+* :mod:`~repro.baselines.cttp` -- a MapReduce-round wedge-join counter that
+  materialises its intermediate shuffle data, reproducing the "too much
+  intermediate networking data" behaviour the paper cites.
+
+All of them return a result object exposing ``triangles`` plus the
+setup/calculation/memory/traffic figures the benchmark tables need.
+"""
+
+from repro.baselines.inmemory import (
+    forward_count,
+    node_iterator_count,
+    per_vertex_triangle_counts,
+    reference_triangle_count,
+)
+from repro.baselines.mgt_single import MGTBaselineResult, run_single_core_mgt
+from repro.baselines.powergraph import PowerGraphResult, run_powergraph
+from repro.baselines.patric import PatricResult, run_patric
+from repro.baselines.opt import OPTResult, run_opt
+from repro.baselines.cttp import CTTPResult, run_cttp
+
+__all__ = [
+    "node_iterator_count",
+    "forward_count",
+    "per_vertex_triangle_counts",
+    "reference_triangle_count",
+    "run_single_core_mgt",
+    "MGTBaselineResult",
+    "run_powergraph",
+    "PowerGraphResult",
+    "run_patric",
+    "PatricResult",
+    "run_opt",
+    "OPTResult",
+    "run_cttp",
+    "CTTPResult",
+]

@@ -1,0 +1,71 @@
+"""Execution backends for the per-core MGT jobs.
+
+A PDTL run launches one MGT job per (node, core) pair.  How those jobs are
+actually executed on the reproduction host is orthogonal to the simulation
+(the modelled CPU/I/O/network times are identical either way), so the
+backend is pluggable:
+
+* ``serial``   -- run jobs one after another in the calling process; fully
+  deterministic, used by the test suite;
+* ``threads``  -- a :class:`concurrent.futures.ThreadPoolExecutor`; numpy
+  releases the GIL for the bulk array work, so this gives real concurrency
+  for the I/O- and numpy-heavy parts while keeping shared-memory access to
+  the block devices simple;
+* ``processes`` -- a :class:`concurrent.futures.ProcessPoolExecutor` for
+  true CPU parallelism; job callables and results must be picklable.
+
+This mirrors the structure of an MPI deployment (one rank per core, results
+gathered at the master) without requiring an MPI runtime, following the
+message-passing idioms of the mpi4py tutorial: workers receive a small
+configuration message, do local work against local storage, and send back
+a small result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from enum import Enum
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ExecutionBackend", "run_jobs"]
+
+T = TypeVar("T")
+
+
+class ExecutionBackend(str, Enum):
+    """How per-core jobs are executed on the host."""
+
+    SERIAL = "serial"
+    THREADS = "threads"
+    PROCESSES = "processes"
+
+
+def run_jobs(
+    jobs: Sequence[Callable[[], T]],
+    backend: ExecutionBackend | str = ExecutionBackend.SERIAL,
+    max_workers: int | None = None,
+) -> list[T]:
+    """Execute ``jobs`` under the chosen backend and return results in order.
+
+    The result order always matches the job order regardless of completion
+    order, so callers can zip results back onto their (node, core)
+    assignments.
+    """
+    backend = ExecutionBackend(backend)
+    if not jobs:
+        return []
+    if backend is ExecutionBackend.SERIAL or len(jobs) == 1:
+        return [job() for job in jobs]
+    if backend is ExecutionBackend.THREADS:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers or len(jobs)
+        ) as pool:
+            futures = [pool.submit(job) for job in jobs]
+            return [f.result() for f in futures]
+    if backend is ExecutionBackend.PROCESSES:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers or len(jobs)
+        ) as pool:
+            futures = [pool.submit(job) for job in jobs]
+            return [f.result() for f in futures]
+    raise ValueError(f"unknown execution backend {backend!r}")

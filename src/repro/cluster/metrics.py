@@ -1,0 +1,127 @@
+"""Per-node and per-cluster resource metrics.
+
+The paper's evaluation repeatedly slices the same three quantities --
+CPU time, I/O time, network traffic -- per node and per processor
+(Figures 6-8, Tables IV and VII).  :class:`NodeMetrics` is the accumulator
+for one simulated machine and :class:`ClusterMetrics` the roll-up across
+machines; both are plain data with explicit merge rules so they can be
+combined across worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.externalmem.iostats import IOStats
+
+__all__ = ["NodeMetrics", "ClusterMetrics"]
+
+
+@dataclass
+class NodeMetrics:
+    """Resource accounting for one simulated machine.
+
+    ``cpu_seconds`` / ``io_seconds`` are the sums over the node's workers;
+    ``calc_seconds`` is the node's *elapsed* calculation time, i.e. the
+    maximum over its concurrently running workers, which is the quantity
+    the paper calls the node's calculation time (the "struggler" node's
+    value determines the cluster-wide calculation time).
+    """
+
+    node_index: int
+    cpu_seconds: float = 0.0
+    io_seconds: float = 0.0
+    calc_seconds: float = 0.0
+    copy_seconds: float = 0.0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    triangles: int = 0
+    workers: int = 0
+    io_stats: IOStats = field(default_factory=IOStats)
+
+    def add_worker(
+        self, cpu_seconds: float, io_seconds: float, triangles: int, io_stats: IOStats
+    ) -> None:
+        """Fold one worker's result into this node's totals."""
+        self.cpu_seconds += cpu_seconds
+        self.io_seconds += io_seconds
+        self.calc_seconds = max(self.calc_seconds, cpu_seconds + io_seconds)
+        self.triangles += triangles
+        self.workers += 1
+        self.io_stats.merge(io_stats)
+
+    def total_seconds(self) -> float:
+        """Copy time plus elapsed calculation time for this node."""
+        return self.copy_seconds + self.calc_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "node": self.node_index,
+            "cpu_seconds": self.cpu_seconds,
+            "io_seconds": self.io_seconds,
+            "calc_seconds": self.calc_seconds,
+            "copy_seconds": self.copy_seconds,
+            "bytes_received": self.bytes_received,
+            "bytes_sent": self.bytes_sent,
+            "triangles": self.triangles,
+            "workers": self.workers,
+        }
+
+
+@dataclass
+class ClusterMetrics:
+    """Cluster-wide roll-up of per-node metrics."""
+
+    nodes: list[NodeMetrics] = field(default_factory=list)
+
+    def node(self, index: int) -> NodeMetrics:
+        """Return (creating if necessary) the metrics of node ``index``."""
+        while len(self.nodes) <= index:
+            self.nodes.append(NodeMetrics(node_index=len(self.nodes)))
+        return self.nodes[index]
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return sum(n.cpu_seconds for n in self.nodes)
+
+    @property
+    def total_io_seconds(self) -> float:
+        return sum(n.io_seconds for n in self.nodes)
+
+    @property
+    def total_triangles(self) -> int:
+        return sum(n.triangles for n in self.nodes)
+
+    @property
+    def calc_seconds(self) -> float:
+        """Cluster calculation time: the slowest ("struggler") node's value."""
+        return max((n.calc_seconds for n in self.nodes), default=0.0)
+
+    @property
+    def max_node_total_seconds(self) -> float:
+        return max((n.total_seconds() for n in self.nodes), default=0.0)
+
+    @property
+    def total_network_bytes(self) -> int:
+        return sum(n.bytes_received for n in self.nodes)
+
+    def average_copy_seconds(self, exclude_master: bool = True) -> float:
+        """Average copy time over the non-master nodes (Table III convention)."""
+        nodes = self.nodes[1:] if exclude_master and len(self.nodes) > 1 else self.nodes
+        if not nodes:
+            return 0.0
+        return sum(n.copy_seconds for n in nodes) / len(nodes)
+
+    def imbalance_ratio(self) -> float:
+        """Max/min node calculation time, the skew measure of section V-D5.
+
+        Returns 1.0 for perfectly balanced clusters; the paper quotes the
+        discrepancy as a percentage (our 1.13 == their "13% difference").
+        """
+        times = [n.calc_seconds for n in self.nodes if n.workers > 0]
+        if not times or min(times) == 0.0:
+            return 1.0
+        return max(times) / min(times)
+
+    def as_rows(self) -> list[dict[str, float]]:
+        return [n.as_dict() for n in self.nodes]

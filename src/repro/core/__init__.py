@@ -1,0 +1,58 @@
+"""The paper's primary contribution: orientation, modified MGT, and PDTL.
+
+Modules
+-------
+``config``
+    :class:`PDTLConfig` -- the (N nodes, P processors/node, M memory/processor,
+    B block size) computational-environment model of section IV.
+``triangles``
+    Triangle records and the counting / listing / file sinks that consume
+    reported triangles.
+``orientation``
+    The degree-based total order ``≺`` (Definition III.2), sequential and
+    multicore orientation of an on-disk graph, exactly as the master
+    performs it in section IV-B1.
+``load_balance``
+    Naive equal-edge splits and the in-degree-balanced splits of the
+    load-balancing step (evaluated in Figure 9).
+``mgt``
+    The modified Massive Graph Triangulation algorithm (Algorithm 2),
+    operating over the binary on-disk format with a strict memory budget.
+``pdtl``
+    The PDTL master/worker framework: orientation, graph duplication, edge
+    range assignment, per-core MGT execution (serially, via threads, or via
+    a simulated cluster), and result aggregation.
+``runner``
+    One-call convenience entry points ``count_triangles`` / ``list_triangles``.
+"""
+
+from repro.core.config import PDTLConfig
+from repro.core.mgt import MGTWorker, mgt_count
+from repro.core.orientation import OrientationResult, orient_graph, orient_csr
+from repro.core.pdtl import PDTLResult, PDTLRunner
+from repro.core.runner import count_triangles, list_triangles
+from repro.core.triangles import (
+    CountingSink,
+    ListingSink,
+    FileSink,
+    PerVertexCountSink,
+    Triangle,
+)
+
+__all__ = [
+    "PDTLConfig",
+    "Triangle",
+    "CountingSink",
+    "ListingSink",
+    "FileSink",
+    "PerVertexCountSink",
+    "OrientationResult",
+    "orient_graph",
+    "orient_csr",
+    "MGTWorker",
+    "mgt_count",
+    "PDTLRunner",
+    "PDTLResult",
+    "count_triangles",
+    "list_triangles",
+]

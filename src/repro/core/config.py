@@ -1,0 +1,139 @@
+"""The PDTL computational-environment model.
+
+Section IV of the paper: *"We assume a computational environment of N
+nodes, each of which has P processors, with M bytes of memory for each of
+the processors, so that by choosing these parameters appropriately, we can
+model a high-end data center, with multiple processors per machine, or
+even just a single computer with low available memory."*
+
+:class:`PDTLConfig` captures exactly that tuple plus the block size ``B``
+of the I/O model and a couple of implementation knobs (the ``c`` constant
+of the small-degree assumption and whether load balancing / parallel
+orientation are enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.externalmem.blockio import DEFAULT_BLOCK_SIZE
+from repro.utils import format_size, parse_size
+
+__all__ = ["PDTLConfig"]
+
+
+@dataclass(frozen=True)
+class PDTLConfig:
+    """Configuration of a PDTL run.
+
+    Parameters
+    ----------
+    num_nodes:
+        ``N`` -- number of machines in the (possibly simulated) cluster.
+    procs_per_node:
+        ``P`` -- processors per machine; each gets its own edge range.
+    memory_per_proc:
+        ``M`` -- bytes of memory available to each processor's MGT worker.
+        Accepts human-readable strings such as ``"64MB"``.
+    block_size:
+        ``B`` -- block size of the I/O model in bytes.
+    memory_fill_fraction:
+        the ``c < 1`` constant of the small-degree assumption: at most
+        ``c · M`` bytes of the budget are used for the in-memory edge window,
+        leaving room for the per-vertex scratch arrays.
+    load_balanced:
+        whether the master balances edge ranges by oriented in-degree
+        (Figure 9) instead of splitting edges equally.
+    parallel_orientation:
+        whether the master orients the graph with all of its cores
+        (Figure 2) or sequentially.
+    count_only:
+        when True, triangles are counted but not materialised, so the output
+        term ``T/B`` of the I/O bound and ``T`` of the network bound drop to 0,
+        matching the convention of Theorem IV.3.
+    """
+
+    num_nodes: int = 1
+    procs_per_node: int = 1
+    memory_per_proc: int = 64 * 1024 * 1024
+    block_size: int = DEFAULT_BLOCK_SIZE
+    memory_fill_fraction: float = 0.5
+    load_balanced: bool = True
+    parallel_orientation: bool = True
+    count_only: bool = True
+    use_processes: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
+        object.__setattr__(self, "block_size", parse_size(self.block_size))
+        if self.num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.procs_per_node <= 0:
+            raise ConfigurationError(
+                f"procs_per_node must be positive, got {self.procs_per_node}"
+            )
+        if self.memory_per_proc <= 0:
+            raise ConfigurationError("memory_per_proc must be positive")
+        if self.block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if self.block_size > self.memory_per_proc:
+            raise ConfigurationError(
+                f"block_size ({self.block_size}) cannot exceed memory_per_proc "
+                f"({self.memory_per_proc})"
+            )
+        if not 0.0 < self.memory_fill_fraction < 1.0:
+            raise ConfigurationError(
+                "memory_fill_fraction must be strictly between 0 and 1"
+            )
+
+    # -- derived quantities ----------------------------------------------------------
+
+    @property
+    def total_processors(self) -> int:
+        """``N · P`` -- the total number of edge ranges / MGT workers."""
+        return self.num_nodes * self.procs_per_node
+
+    @property
+    def total_memory(self) -> int:
+        """``N · P · M`` in bytes."""
+        return self.total_processors * self.memory_per_proc
+
+    @property
+    def window_edges(self) -> int:
+        """Maximum number of oriented edges held in one MGT memory window.
+
+        Each adjacency entry is an int64 (8 bytes); the window uses at most
+        ``memory_fill_fraction`` of the per-processor budget, the rest being
+        reserved for ``ind`` and the per-vertex scratch arrays.
+        """
+        return max(int(self.memory_per_proc * self.memory_fill_fraction) // 8, 1)
+
+    @property
+    def block_items(self) -> int:
+        """Block size expressed in int64 items."""
+        return max(self.block_size // 8, 1)
+
+    def single_core(self) -> "PDTLConfig":
+        """A copy of this configuration restricted to one node and one core
+        (the single-core MGT baseline of Figures 10/11)."""
+        return replace(self, num_nodes=1, procs_per_node=1)
+
+    def with_cores(self, procs_per_node: int) -> "PDTLConfig":
+        return replace(self, procs_per_node=procs_per_node)
+
+    def with_nodes(self, num_nodes: int) -> "PDTLConfig":
+        return replace(self, num_nodes=num_nodes)
+
+    def with_memory(self, memory_per_proc: int | str) -> "PDTLConfig":
+        return replace(self, memory_per_proc=parse_size(memory_per_proc))
+
+    def describe(self) -> str:
+        return (
+            f"PDTLConfig(N={self.num_nodes} nodes, P={self.procs_per_node} procs/node, "
+            f"M={format_size(self.memory_per_proc)}/proc, "
+            f"B={format_size(self.block_size)}, "
+            f"load_balanced={self.load_balanced}, "
+            f"count_only={self.count_only})"
+        )

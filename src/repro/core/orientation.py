@@ -1,0 +1,221 @@
+"""Degree-based ordering and graph orientation (Definition III.2, section IV-B1).
+
+The degree-based strict total order ``≺`` on vertices is
+
+    ``u ≺ v``  iff  ``d(u) < d(v)``  or  (``d(u) == d(v)`` and ``u < v``),
+
+and the orientation ``G*`` keeps exactly the edges ``(u, v)`` with
+``u ≺ v``.  Orientation is the master's preprocessing step: it is measured
+separately in the paper (Table II, Figure 2, Table IX) and happens exactly
+once per graph regardless of how many machines participate.
+
+Two code paths are provided:
+
+* :func:`orient_csr` -- fully vectorised in-memory orientation, used by the
+  in-memory baselines and by tests as the reference implementation;
+* :func:`orient_graph` -- the external-memory path: the degree array is
+  read into memory (the paper assumes ``|V| < P·M``), the adjacency file is
+  streamed in contiguous chunks, each chunk filtered down to its oriented
+  out-edges, and the result written back out.  With
+  ``parallel=True`` the chunks are processed by a thread pool and the
+  per-chunk outputs concatenated in order -- the "multicore orientation"
+  of section IV-B1 whose speed-up Figure 2 reports.
+
+Because both the input and output adjacency files are sorted by source and
+then destination, and orientation only *removes* entries, the output
+automatically satisfies the sortedness invariant the modified MGT needs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.externalmem.blockio import BlockDevice
+from repro.graph.binfmt import GraphFile, write_graph
+from repro.graph.csr import CSRGraph
+from repro.utils import Timer, chunk_ranges, prefix_sums
+
+__all__ = [
+    "OrientationResult",
+    "degree_order_keys",
+    "precedes",
+    "orient_csr",
+    "orient_graph",
+]
+
+
+@dataclass
+class OrientationResult:
+    """Everything the PDTL master needs after orienting a graph.
+
+    ``in_degrees`` holds ``d_G(v) - d_G*(v)`` for every vertex -- the number
+    of *incoming* oriented edges -- which is exactly the per-vertex weight
+    the load-balancing step uses to split edge ranges (section IV-B1).
+    """
+
+    oriented: GraphFile
+    max_out_degree: int
+    out_degrees: np.ndarray
+    in_degrees: np.ndarray
+    elapsed_seconds: float
+    num_chunks: int
+
+    @property
+    def num_vertices(self) -> int:
+        return self.oriented.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.oriented.num_edges
+
+
+def degree_order_keys(degrees: np.ndarray) -> np.ndarray:
+    """Return a key array such that ``key[u] < key[v]`` iff ``u ≺ v``.
+
+    The key packs (degree, vertex id) into a single int64, which keeps the
+    orientation filter a pure vectorised comparison.  Vertex ids must fit in
+    32 bits, which covers every graph this reproduction can hold in memory.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n = degrees.shape[0]
+    if n >= (1 << 31):
+        raise ValueError("vertex ids beyond 2^31 are not supported by the key packing")
+    return (degrees << 32) | np.arange(n, dtype=np.int64)
+
+
+def precedes(u: int, v: int, degrees: np.ndarray) -> bool:
+    """Scalar predicate ``u ≺ v`` under the degree-based order."""
+    du, dv = int(degrees[u]), int(degrees[v])
+    return du < dv or (du == dv and u < v)
+
+
+def orient_csr(graph: CSRGraph) -> CSRGraph:
+    """In-memory orientation of an undirected CSR graph.
+
+    Returns a directed CSR graph containing each undirected edge exactly
+    once, from its ``≺``-smaller endpoint to the larger.  Adjacency lists
+    stay sorted by destination id.
+    """
+    if graph.directed:
+        raise ValueError("orient_csr expects an undirected (bidirectional) graph")
+    degrees = graph.degrees
+    keys = degree_order_keys(degrees)
+    sources = graph.edge_sources()
+    destinations = graph.indices
+    keep = keys[sources] < keys[destinations]
+    out_degrees = np.zeros(graph.num_vertices, dtype=np.int64)
+    if keep.any():
+        np.add.at(out_degrees, sources[keep], 1)
+    new_indptr = prefix_sums(out_degrees)
+    new_indices = destinations[keep].copy()
+    return CSRGraph(new_indptr, new_indices, directed=True)
+
+
+def _orient_chunk(
+    source_graph: GraphFile,
+    keys: np.ndarray,
+    offsets: np.ndarray,
+    vertex_range: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Orient the adjacency lists of a contiguous vertex range.
+
+    Returns (per-vertex oriented out-degrees, concatenated oriented
+    adjacency) for the vertices in ``vertex_range``.  Each worker of the
+    multicore orientation runs this on its own range.
+    """
+    lo, hi = vertex_range
+    if hi <= lo:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    start_edge = int(offsets[lo])
+    count = int(offsets[hi] - offsets[lo])
+    adjacency = (
+        source_graph.read_adjacency_range(start_edge, count)
+        if count
+        else np.empty(0, dtype=np.int64)
+    )
+    degrees = (offsets[lo + 1 : hi + 1] - offsets[lo:hi]).astype(np.int64)
+    sources = np.repeat(np.arange(lo, hi, dtype=np.int64), degrees)
+    keep = keys[sources] < keys[adjacency] if count else np.empty(0, dtype=bool)
+    out_degrees = np.zeros(hi - lo, dtype=np.int64)
+    if count and keep.any():
+        np.add.at(out_degrees, sources[keep] - lo, 1)
+    oriented_adjacency = adjacency[keep] if count else adjacency
+    return out_degrees, oriented_adjacency
+
+
+def orient_graph(
+    source: GraphFile,
+    device: BlockDevice | None = None,
+    output_name: str | None = None,
+    num_workers: int = 1,
+    parallel: bool = True,
+) -> OrientationResult:
+    """Orient an on-disk undirected graph into an on-disk oriented graph.
+
+    Parameters
+    ----------
+    source:
+        the bidirectional input graph (``directed`` must be False).
+    device:
+        where to write the oriented graph; defaults to the source's device.
+    output_name:
+        name of the oriented graph; defaults to ``"<source>_oriented"``.
+    num_workers:
+        number of orientation workers (the master's cores).  The adjacency
+        file is split into ``num_workers`` contiguous vertex ranges that are
+        filtered independently and concatenated in order.
+    parallel:
+        when False the chunks are processed sequentially even if
+        ``num_workers > 1`` (used to measure the multicore speed-up of
+        Figure 2 against an identical work decomposition).
+    """
+    if source.directed:
+        raise ValueError("orient_graph expects an undirected on-disk graph")
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    device = device if device is not None else source.device
+    output_name = output_name if output_name is not None else f"{source.name}_oriented"
+
+    timer = Timer().start()
+    degrees = source.read_degrees()
+    offsets = prefix_sums(degrees)
+    keys = degree_order_keys(degrees)
+    ranges = chunk_ranges(source.num_vertices, num_workers)
+
+    if parallel and num_workers > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=num_workers) as pool:
+            futures = [
+                pool.submit(_orient_chunk, source, keys, offsets, r) for r in ranges
+            ]
+            results = [f.result() for f in futures]
+    else:
+        results = [_orient_chunk(source, keys, offsets, r) for r in ranges]
+
+    out_degree_parts = [r[0] for r in results]
+    adjacency_parts = [r[1] for r in results]
+    out_degrees = (
+        np.concatenate(out_degree_parts)
+        if out_degree_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    adjacency = (
+        np.concatenate(adjacency_parts)
+        if adjacency_parts
+        else np.empty(0, dtype=np.int64)
+    )
+    oriented_csr = CSRGraph.from_arrays(out_degrees, adjacency, directed=True)
+    oriented_file = write_graph(device, output_name, oriented_csr)
+    timer.stop()
+
+    in_degrees = degrees - out_degrees
+    return OrientationResult(
+        oriented=oriented_file,
+        max_out_degree=int(out_degrees.max()) if out_degrees.size else 0,
+        out_degrees=out_degrees,
+        in_degrees=in_degrees,
+        elapsed_seconds=timer.elapsed,
+        num_chunks=num_workers,
+    )

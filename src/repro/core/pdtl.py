@@ -1,0 +1,318 @@
+"""The PDTL framework: master/worker protocol over the simulated cluster.
+
+Section IV-B of the paper, step by step:
+
+1. the **master** (node 0) applies the degree-based orientation to the
+   input graph, using all of its cores (Figure 2);
+2. the master computes the per-processor **edge ranges**, either naive or
+   in-degree load-balanced (Figure 9);
+3. the oriented graph is **replicated** to every client machine over the
+   network (the copy times of Table III), together with each processor's
+   configuration ``C_{i,j}``;
+4. every processor runs **modified MGT** restricted to its edge range
+   against its machine's local graph copy;
+5. clients send their triangle counts (or lists) back to the master, which
+   sums (or concatenates) them.
+
+:class:`PDTLRunner` drives all five steps over a
+:class:`~repro.cluster.cluster.Cluster` and collects both *measured* wall
+times and *modelled* per-node CPU / I/O / network times, so a single run
+can regenerate every evaluation figure that slices those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.executor import ExecutionBackend, run_jobs
+from repro.cluster.metrics import ClusterMetrics
+from repro.core.config import PDTLConfig
+from repro.core.load_balance import EdgeRange, split_edges
+from repro.core.mgt import MGTResult, MGTWorker
+from repro.core.orientation import OrientationResult, orient_graph
+from repro.core.triangles import (
+    CountingSink,
+    ListingSink,
+    PerVertexCountSink,
+    Triangle,
+)
+from repro.errors import ConfigurationError
+from repro.externalmem.blockio import DiskModel
+from repro.graph.binfmt import GraphFile, write_graph
+from repro.graph.csr import CSRGraph
+from repro.utils import Timer
+
+__all__ = ["PDTLRunner", "PDTLResult", "WorkerReport"]
+
+_TRIANGLE_BYTES = 24  # three int64 vertex ids
+_COUNT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One processor's MGT result, tagged with its cluster placement."""
+
+    node_index: int
+    proc_index: int
+    edge_range: EdgeRange
+    result: MGTResult
+
+    @property
+    def triangles(self) -> int:
+        return self.result.triangles
+
+    @property
+    def calc_seconds(self) -> float:
+        return self.result.cpu_seconds + self.result.io_seconds
+
+
+@dataclass
+class PDTLResult:
+    """Everything a PDTL run produces: the answer plus the evaluation data.
+
+    Timing fields come in two flavours:
+
+    * ``*_seconds`` are *modelled* times from the disk/network cost models
+      and the measured in-process compute time of each worker, aggregated
+      the way the paper aggregates them (calculation time = the slowest
+      node; total time = orientation + slowest (copy + calculation));
+    * ``wall_seconds`` is the actual elapsed wall-clock time of the whole
+      run on the reproduction host, reported for completeness.
+    """
+
+    config: PDTLConfig
+    triangles: int
+    orientation_seconds: float
+    calc_seconds: float
+    total_seconds: float
+    wall_seconds: float
+    network_bytes: int
+    network_messages: int
+    workers: list[WorkerReport] = field(default_factory=list)
+    metrics: ClusterMetrics = field(default_factory=ClusterMetrics)
+    edge_ranges: list[EdgeRange] = field(default_factory=list)
+    triangle_list: list[Triangle] | None = None
+    per_vertex_counts: np.ndarray | None = None
+    max_out_degree: int = 0
+
+    @property
+    def average_copy_seconds(self) -> float:
+        return self.metrics.average_copy_seconds(exclude_master=True)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        return self.metrics.total_cpu_seconds
+
+    @property
+    def total_io_seconds(self) -> float:
+        return self.metrics.total_io_seconds
+
+    def node_breakdown(self) -> list[dict[str, float]]:
+        """Per-node CPU / I/O / copy / calc rows (Figures 7-8, Table IV)."""
+        return self.metrics.as_rows()
+
+
+class PDTLRunner:
+    """Drives the full PDTL pipeline for one configuration.
+
+    Parameters
+    ----------
+    config:
+        the (N, P, M, B) environment plus algorithm switches.
+    backend:
+        how per-core MGT jobs execute on the host
+        (``serial`` / ``threads`` / ``processes``); the modelled results are
+        backend-independent.
+    storage_root:
+        optional directory for the simulated machines' disks; a temporary
+        directory per machine is used when omitted.
+    disk_model / bandwidth_bytes_per_s:
+        override the disk and network performance models.
+    """
+
+    def __init__(
+        self,
+        config: PDTLConfig,
+        backend: ExecutionBackend | str = ExecutionBackend.SERIAL,
+        storage_root: str | Path | None = None,
+        disk_model: DiskModel | None = None,
+        bandwidth_bytes_per_s: float | None = None,
+    ) -> None:
+        self.config = config
+        self.backend = ExecutionBackend(backend)
+        self.storage_root = storage_root
+        self.disk_model = disk_model
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+
+    # -- public API -------------------------------------------------------------------
+
+    def run(
+        self,
+        graph: CSRGraph | GraphFile,
+        sink_kind: str = "count",
+    ) -> PDTLResult:
+        """Count (or list) all triangles of ``graph`` under this configuration.
+
+        ``graph`` may be an in-memory undirected CSR graph (it is written to
+        the master's disk first, as a real deployment would have it on disk
+        already) or an on-disk undirected graph already living on a device.
+
+        ``sink_kind`` selects what each worker does with its triangles:
+        ``"count"`` (default, matches the paper's measurements), ``"list"``
+        (collect :class:`Triangle` records) or ``"per-vertex"`` (per-vertex
+        triangle counts for clustering-coefficient style analyses).
+        """
+        if sink_kind not in ("count", "list", "per-vertex"):
+            raise ConfigurationError(f"unsupported sink kind {sink_kind!r}")
+
+        wall_timer = Timer().start()
+        cluster = Cluster.from_config(
+            self.config,
+            storage_root=self.storage_root,
+            disk_model=self.disk_model,
+            bandwidth_bytes_per_s=self.bandwidth_bytes_per_s,
+        )
+        try:
+            result = self._run_on_cluster(cluster, graph, sink_kind)
+        finally:
+            cluster.cleanup()
+        result.wall_seconds = wall_timer.stop()
+        return result
+
+    # -- pipeline steps -----------------------------------------------------------------
+
+    def _stage_input(self, cluster: Cluster, graph: CSRGraph | GraphFile) -> GraphFile:
+        """Place the undirected input graph on the master's disk."""
+        if isinstance(graph, GraphFile):
+            if graph.directed:
+                raise ConfigurationError("PDTL expects an undirected input graph")
+            if graph.device is cluster.master.device:
+                return graph
+            return graph.copy_to(cluster.master.device, graph.name)
+        if graph.directed:
+            raise ConfigurationError("PDTL expects an undirected input graph")
+        return write_graph(cluster.master.device, "input", graph)
+
+    def _orient(self, source: GraphFile) -> OrientationResult:
+        workers = self.config.procs_per_node if self.config.parallel_orientation else 1
+        return orient_graph(
+            source,
+            num_workers=workers,
+            parallel=self.config.parallel_orientation,
+        )
+
+    def _make_sink(self, sink_kind: str, num_vertices: int):
+        if sink_kind == "count":
+            return CountingSink()
+        if sink_kind == "list":
+            return ListingSink()
+        return PerVertexCountSink(num_vertices)
+
+    def _run_on_cluster(
+        self, cluster: Cluster, graph: CSRGraph | GraphFile, sink_kind: str
+    ) -> PDTLResult:
+        config = self.config
+
+        # Step 1: stage + orient on the master
+        source = self._stage_input(cluster, graph)
+        orientation = self._orient(source)
+        oriented = orientation.oriented
+
+        # Step 2: edge ranges (load-balanced or naive)
+        ranges = split_edges(
+            num_edges=oriented.num_edges,
+            num_nodes=config.num_nodes,
+            procs_per_node=config.procs_per_node,
+            out_degrees=orientation.out_degrees,
+            in_degrees=orientation.in_degrees,
+            load_balanced=config.load_balanced,
+        )
+
+        # Step 3: replicate the oriented graph + send configurations
+        local_graphs = cluster.replicate_graph(oriented)
+        for edge_range in ranges:
+            cluster.send_configuration(edge_range.node_index)
+
+        # Step 4: per-processor MGT jobs
+        sinks = [self._make_sink(sink_kind, oriented.num_vertices) for _ in ranges]
+
+        def make_job(edge_range: EdgeRange, sink):
+            local = local_graphs[edge_range.node_index]
+
+            def job() -> MGTResult:
+                worker = MGTWorker(
+                    local,
+                    config,
+                    range_start=edge_range.start,
+                    range_stop=edge_range.stop,
+                )
+                return worker.run(sink)
+
+            return job
+
+        jobs = [make_job(r, s) for r, s in zip(ranges, sinks)]
+        results = run_jobs(jobs, backend=self.backend)
+
+        # Step 5: aggregate at the master
+        reports: list[WorkerReport] = []
+        total_triangles = 0
+        for edge_range, mgt_result in zip(ranges, results):
+            report = WorkerReport(
+                node_index=edge_range.node_index,
+                proc_index=edge_range.proc_index,
+                edge_range=edge_range,
+                result=mgt_result,
+            )
+            reports.append(report)
+            total_triangles += mgt_result.triangles
+            node_metrics = cluster.metrics.node(edge_range.node_index)
+            node_metrics.add_worker(
+                cpu_seconds=mgt_result.cpu_seconds,
+                io_seconds=mgt_result.io_seconds,
+                triangles=mgt_result.triangles,
+                io_stats=mgt_result.io_stats,
+            )
+            # result message back to the master
+            if sink_kind == "count" or config.count_only:
+                payload = _COUNT_BYTES
+            else:
+                payload = _COUNT_BYTES + mgt_result.triangles * _TRIANGLE_BYTES
+            cluster.send_result(edge_range.node_index, payload)
+
+        metrics = cluster.metrics
+        calc_seconds = metrics.calc_seconds
+        total_seconds = orientation.elapsed_seconds + max(
+            (node.total_seconds() for node in metrics.nodes), default=0.0
+        )
+
+        triangle_list: list[Triangle] | None = None
+        per_vertex: np.ndarray | None = None
+        if sink_kind == "list":
+            triangle_list = []
+            for sink in sinks:
+                triangle_list.extend(sink.triangles)  # type: ignore[attr-defined]
+        elif sink_kind == "per-vertex":
+            per_vertex = np.zeros(oriented.num_vertices, dtype=np.int64)
+            for sink in sinks:
+                per_vertex += sink.per_vertex  # type: ignore[attr-defined]
+
+        return PDTLResult(
+            config=config,
+            triangles=total_triangles,
+            orientation_seconds=orientation.elapsed_seconds,
+            calc_seconds=calc_seconds,
+            total_seconds=total_seconds,
+            wall_seconds=0.0,
+            network_bytes=cluster.network.total_bytes,
+            network_messages=cluster.network.total_messages,
+            workers=reports,
+            metrics=metrics,
+            edge_ranges=ranges,
+            triangle_list=triangle_list,
+            per_vertex_counts=per_vertex,
+            max_out_degree=orientation.max_out_degree,
+        )

@@ -1,0 +1,257 @@
+"""Triangle records and the sinks that consume them.
+
+PDTL is a *listing* framework: the inner loop reports every triangle
+``(u, v, w)`` with cone vertex ``u`` and pivot edge ``(v, w)``
+(Definition III.3).  What happens to a reported triangle is up to the
+sink:
+
+* :class:`CountingSink` only counts (the paper's experiments measure
+  counting time so that competing systems can be compared);
+* :class:`ListingSink` materialises the triangles in memory;
+* :class:`FileSink` appends them to a block-device file, charging the
+  ``T/B`` output term of the I/O bound;
+* :class:`PerVertexCountSink` accumulates per-vertex triangle counts,
+  which is what the clustering-coefficient application in the examples
+  needs.
+
+Sinks receive *batches* as numpy arrays wherever possible: the MGT inner
+loop produces, for each (cone u, out-neighbour v) pair, the whole array of
+pivot endpoints ``w`` at once, so the sink interface is
+``add_batch(u, v, ws)`` plus a scalar ``add(u, v, w)`` convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.externalmem.blockio import BlockFile
+
+__all__ = [
+    "Triangle",
+    "TriangleSink",
+    "CountingSink",
+    "ListingSink",
+    "FileSink",
+    "PerVertexCountSink",
+    "make_sink",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Triangle:
+    """A triangle in cone/pivot orientation: ``cone ≺ v ≺ w`` in the degree order.
+
+    ``as_vertex_set`` recovers the unordered vertex set for comparisons with
+    reference implementations that do not track orientation.
+    """
+
+    cone: int
+    v: int
+    w: int
+
+    def as_vertex_set(self) -> frozenset[int]:
+        return frozenset((self.cone, self.v, self.w))
+
+    def __iter__(self):
+        return iter((self.cone, self.v, self.w))
+
+
+class TriangleSink(Protocol):
+    """Protocol implemented by every triangle consumer."""
+
+    count: int
+
+    def add(self, u: int, v: int, w: int) -> None:
+        """Report a single triangle ``(u, v, w)``."""
+        ...
+
+    def add_batch(self, u: int, v: int, ws: np.ndarray) -> None:
+        """Report triangles ``(u, v, w)`` for every ``w`` in ``ws``."""
+        ...
+
+    def add_triples(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> None:
+        """Report triangles ``(us[i], vs[i], ws[i])`` for every index ``i``.
+
+        This is the vectorised entry point the MGT inner loop uses: one call
+        per scanned block instead of one call per (cone, out-neighbour) pair.
+        """
+        ...
+
+
+class CountingSink:
+    """Counts triangles without storing them (the paper's measurement mode)."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, u: int, v: int, w: int) -> None:
+        self.count += 1
+
+    def add_batch(self, u: int, v: int, ws: np.ndarray) -> None:
+        self.count += int(ws.shape[0])
+
+    def add_triples(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> None:
+        self.count += int(ws.shape[0])
+
+    def merge(self, other: "CountingSink") -> None:
+        self.count += other.count
+
+
+class ListingSink:
+    """Collects every reported triangle in memory as :class:`Triangle` records."""
+
+    __slots__ = ("count", "triangles")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.triangles: list[Triangle] = []
+
+    def add(self, u: int, v: int, w: int) -> None:
+        self.triangles.append(Triangle(int(u), int(v), int(w)))
+        self.count += 1
+
+    def add_batch(self, u: int, v: int, ws: np.ndarray) -> None:
+        for w in ws:
+            self.triangles.append(Triangle(int(u), int(v), int(w)))
+        self.count += int(ws.shape[0])
+
+    def add_triples(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> None:
+        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+            self.triangles.append(Triangle(u, v, w))
+        self.count += int(ws.shape[0])
+
+    def vertex_sets(self) -> set[frozenset[int]]:
+        """Unordered vertex sets of all collected triangles (for equality tests)."""
+        return {t.as_vertex_set() for t in self.triangles}
+
+    def merge(self, other: "ListingSink") -> None:
+        self.triangles.extend(other.triangles)
+        self.count += other.count
+
+
+class FileSink:
+    """Appends triangles to a block-device file as flat int64 triples.
+
+    Every append goes through the block layer, so listing (as opposed to
+    counting) pays the ``T/B`` output I/Os of Theorem IV.2 -- the ablation
+    benchmark for counting vs. listing relies on this.
+    """
+
+    __slots__ = ("count", "file", "_buffer", "_buffer_limit")
+
+    def __init__(self, file: BlockFile, buffer_triangles: int = 4096) -> None:
+        self.count = 0
+        self.file = file
+        self._buffer: list[int] = []
+        self._buffer_limit = max(buffer_triangles, 1) * 3
+
+    def add(self, u: int, v: int, w: int) -> None:
+        self._buffer.extend((int(u), int(v), int(w)))
+        self.count += 1
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
+
+    def add_batch(self, u: int, v: int, ws: np.ndarray) -> None:
+        n = int(ws.shape[0])
+        if n == 0:
+            return
+        triples = np.empty((n, 3), dtype=np.int64)
+        triples[:, 0] = u
+        triples[:, 1] = v
+        triples[:, 2] = ws
+        self._buffer.extend(triples.reshape(-1).tolist())
+        self.count += n
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
+
+    def add_triples(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> None:
+        n = int(ws.shape[0])
+        if n == 0:
+            return
+        triples = np.stack([us, vs, ws], axis=1).astype(np.int64)
+        self._buffer.extend(triples.reshape(-1).tolist())
+        self.count += n
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self.file.append_array(np.array(self._buffer, dtype=np.int64))
+            self._buffer.clear()
+
+    def read_all(self) -> list[Triangle]:
+        """Read back every triangle written so far (flushes first)."""
+        self.flush()
+        total = self.file.num_items()
+        if total == 0:
+            return []
+        flat = self.file.read_array(0, total)
+        return [Triangle(int(a), int(b), int(c)) for a, b, c in flat.reshape(-1, 3)]
+
+
+class PerVertexCountSink:
+    """Accumulates, for every vertex, the number of triangles containing it.
+
+    Each reported triangle contributes one to all three of its vertices;
+    the resulting array feeds
+    :func:`repro.graph.properties.clustering_coefficient`.
+    """
+
+    __slots__ = ("count", "per_vertex")
+
+    def __init__(self, num_vertices: int) -> None:
+        self.count = 0
+        self.per_vertex = np.zeros(num_vertices, dtype=np.int64)
+
+    def add(self, u: int, v: int, w: int) -> None:
+        self.per_vertex[u] += 1
+        self.per_vertex[v] += 1
+        self.per_vertex[w] += 1
+        self.count += 1
+
+    def add_batch(self, u: int, v: int, ws: np.ndarray) -> None:
+        n = int(ws.shape[0])
+        if n == 0:
+            return
+        self.per_vertex[u] += n
+        self.per_vertex[v] += n
+        np.add.at(self.per_vertex, ws, 1)
+        self.count += n
+
+    def add_triples(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> None:
+        n = int(ws.shape[0])
+        if n == 0:
+            return
+        np.add.at(self.per_vertex, us, 1)
+        np.add.at(self.per_vertex, vs, 1)
+        np.add.at(self.per_vertex, ws, 1)
+        self.count += n
+
+    def merge(self, other: "PerVertexCountSink") -> None:
+        self.per_vertex += other.per_vertex
+        self.count += other.count
+
+
+def make_sink(
+    kind: str, num_vertices: int | None = None, file: BlockFile | None = None
+) -> TriangleSink:
+    """Factory used by the high-level runner: ``count``, ``list``, ``file`` or
+    ``per-vertex``."""
+    if kind == "count":
+        return CountingSink()
+    if kind == "list":
+        return ListingSink()
+    if kind == "file":
+        if file is None:
+            raise ValueError("file sink requires a BlockFile")
+        return FileSink(file)
+    if kind == "per-vertex":
+        if num_vertices is None:
+            raise ValueError("per-vertex sink requires num_vertices")
+        return PerVertexCountSink(num_vertices)
+    raise ValueError(f"unknown sink kind {kind!r}")

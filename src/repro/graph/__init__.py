@@ -1,0 +1,48 @@
+"""Graph substrate: in-memory representations, generators, on-disk formats.
+
+The PDTL pipeline operates on *undirected simple graphs* stored in the
+binary two-file format the paper uses (a degree file plus an adjacency
+file, both sorted).  This subpackage provides:
+
+* :class:`repro.graph.edgelist.EdgeList` -- a thin wrapper over an
+  ``(m, 2)`` numpy array of edges with deduplication / symmetrisation /
+  sorting helpers,
+* :class:`repro.graph.csr.CSRGraph` -- compressed-sparse-row adjacency used
+  by the in-memory baselines and as the canonical in-memory form,
+* :mod:`repro.graph.binfmt` -- the on-disk ``.deg`` / ``.adj`` binary
+  format with the sortedness invariants required by the modified MGT,
+* :mod:`repro.graph.generators` -- RMAT and classic random-graph
+  generators,
+* :mod:`repro.graph.datasets` -- scaled-down analogues of the paper's
+  evaluation datasets (Table I),
+* :mod:`repro.graph.properties` -- degree statistics, clustering
+  coefficients and arboricity bounds (Theorem III.4).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    planar_grid,
+    ring_graph,
+    rmat,
+    watts_strogatz,
+)
+from repro.graph.properties import GraphStats, arboricity_upper_bound, graph_stats
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "rmat",
+    "erdos_renyi",
+    "barabasi_albert",
+    "complete_graph",
+    "ring_graph",
+    "planar_grid",
+    "watts_strogatz",
+    "GraphStats",
+    "graph_stats",
+    "arboricity_upper_bound",
+]

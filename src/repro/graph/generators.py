@@ -1,0 +1,334 @@
+"""Synthetic graph generators used by the evaluation harness.
+
+The paper's synthetic workloads are R-MAT graphs (Chakrabarti et al.,
+SDM'04): ``RMAT-n`` has ``2^n`` vertices and ``2^{n+4}`` edges, i.e. an
+average degree of 32 (16 undirected edges per vertex).  We reproduce the
+generator with the conventional (a, b, c, d) = (0.57, 0.19, 0.19, 0.05)
+partition probabilities, which yields the heavy-tailed degree
+distributions the paper's scalability results rely on.
+
+The remaining generators (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+complete, ring, planar grid) back the unit/property tests and the
+arboricity-bound experiments: planar graphs have ``α = O(1)`` while
+``K_n`` has ``α = Θ(n)`` (Theorem III.4), so they probe opposite ends of
+the CPU-bound analysis.
+
+All generators are vectorised over numpy and fully deterministic given a
+seed; they return :class:`~repro.graph.edgelist.EdgeList` instances in
+canonical undirected form (each edge once, no self loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.utils import as_rng
+
+__all__ = [
+    "rmat",
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "complete_graph",
+    "ring_graph",
+    "planar_grid",
+    "power_law_degree_graph",
+]
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | np.random.Generator | None = 0,
+    noise: float = 0.1,
+) -> EdgeList:
+    """Generate an R-MAT graph with ``2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the number of vertices; the paper's ``RMAT-n`` uses
+        ``scale = n``.
+    edge_factor:
+        number of undirected edges per vertex *before* deduplication; the
+        paper's graphs use ``2^{n+4}`` edges, i.e. ``edge_factor = 16``.
+    a, b, c:
+        recursive quadrant probabilities (d is ``1 - a - b - c``).
+    noise:
+        multiplicative perturbation applied per recursion level, which
+        avoids exactly repeating quadrant splits and produces smoother
+        degree distributions (standard Graph500-style smoothing).
+
+    Returns the canonical undirected edge list (duplicates and self loops
+    removed), so the realised edge count is slightly below
+    ``edge_factor * 2**scale``.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("RMAT probabilities must be non-negative and sum to <= 1")
+    rng = as_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    if m == 0 or scale == 0:
+        return EdgeList.empty(n)
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / (a + c) if (a + c) > 0 else 0.5
+    c_norm = a_norm  # same column split used for both halves before noise
+
+    for level in range(scale):
+        bit = 1 << (scale - 1 - level)
+        # per-level noisy probabilities
+        if noise > 0:
+            ab_l = ab * (1.0 + noise * (rng.random(m) - 0.5))
+            a_l = a_norm * (1.0 + noise * (rng.random(m) - 0.5))
+            c_l = c_norm * (1.0 + noise * (rng.random(m) - 0.5))
+            ab_l = np.clip(ab_l, 0.0, 1.0)
+            a_l = np.clip(a_l, 0.0, 1.0)
+            c_l = np.clip(c_l, 0.0, 1.0)
+        else:
+            ab_l = np.full(m, ab)
+            a_l = np.full(m, a_norm)
+            c_l = np.full(m, c_norm)
+        go_down = rng.random(m) > ab_l  # row bit set (source in lower half)
+        col_prob = np.where(go_down, c_l, a_l)
+        go_right = rng.random(m) > col_prob  # column bit set
+        src += bit * go_down.astype(np.int64)
+        dst += bit * go_right.astype(np.int64)
+
+    edges = np.stack([src, dst], axis=1)
+    return EdgeList(edges, n).canonical_undirected()
+
+
+def erdos_renyi(
+    n: int, p: float | None = None, m: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> EdgeList:
+    """Erdős–Rényi random graph, either G(n, p) or G(n, m).
+
+    Exactly one of ``p`` (edge probability) or ``m`` (edge count) must be
+    given.  The G(n, m) variant samples undirected edges without
+    replacement, which is what the unit tests use for exact edge counts.
+    """
+    if (p is None) == (m is None):
+        raise ValueError("specify exactly one of p or m")
+    rng = as_rng(seed)
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    max_edges = n * (n - 1) // 2
+    if p is not None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if n <= 1 or p == 0.0:
+            return EdgeList.empty(n)
+        # sample upper-triangular pairs via geometric skipping for sparsity
+        expected = int(p * max_edges * 1.3) + 16
+        u = rng.integers(0, n, size=expected, dtype=np.int64)
+        v = rng.integers(0, n, size=expected, dtype=np.int64)
+        keep = rng.random(expected) < p
+        edges = np.stack([u[keep], v[keep]], axis=1)
+        # the sampling above is approximate; for exactness on small graphs,
+        # fall back to the dense Bernoulli draw when feasible
+        if max_edges <= 2_000_000:
+            iu, iv = np.triu_indices(n, k=1)
+            keep = rng.random(iu.shape[0]) < p
+            edges = np.stack([iu[keep], iv[keep]], axis=1)
+        return EdgeList(edges, n).canonical_undirected()
+    assert m is not None
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    if m == 0:
+        return EdgeList.empty(n)
+    if max_edges <= 4_000_000:
+        iu, iv = np.triu_indices(n, k=1)
+        choice = rng.choice(iu.shape[0], size=m, replace=False)
+        edges = np.stack([iu[choice], iv[choice]], axis=1)
+        return EdgeList(edges, n).canonical_undirected()
+    # rejection sampling for large vertex sets
+    seen: set[tuple[int, int]] = set()
+    while len(seen) < m:
+        need = m - len(seen)
+        u = rng.integers(0, n, size=2 * need + 8, dtype=np.int64)
+        v = rng.integers(0, n, size=2 * need + 8, dtype=np.int64)
+        for a_, b_ in zip(u, v):
+            if a_ == b_:
+                continue
+            key = (int(min(a_, b_)), int(max(a_, b_)))
+            seen.add(key)
+            if len(seen) >= m:
+                break
+    edges = np.array(sorted(seen), dtype=np.int64)
+    return EdgeList(edges, n)
+
+
+def barabasi_albert(
+    n: int, attach: int = 3, seed: int | np.random.Generator | None = 0
+) -> EdgeList:
+    """Barabási–Albert preferential-attachment graph.
+
+    Produces a scale-free degree distribution; used by the datasets module
+    for the social-network analogues (LiveJournal/Orkut-like graphs whose
+    triangle density comes from hub vertices).
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    if n <= attach:
+        return complete_graph(max(n, 0))
+    rng = as_rng(seed)
+    # start from a small complete core
+    core = attach + 1
+    targets_pool = list(np.repeat(np.arange(core), core - 1))
+    edges: list[tuple[int, int]] = [
+        (i, j) for i in range(core) for j in range(i + 1, core)
+    ]
+    repeated = list(range(core)) * (core - 1)
+    pool = np.array(repeated, dtype=np.int64)
+    for v in range(core, n):
+        # preferential attachment: sample proportional to current degree by
+        # drawing from the pool of edge endpoints
+        chosen: set[int] = set()
+        while len(chosen) < attach:
+            idx = rng.integers(0, pool.shape[0], size=attach * 2)
+            for t in pool[idx]:
+                t = int(t)
+                if t != v:
+                    chosen.add(t)
+                if len(chosen) >= attach:
+                    break
+        new_targets = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+        for t in new_targets:
+            edges.append((v, int(t)))
+        pool = np.concatenate(
+            [pool, new_targets, np.full(len(new_targets), v, dtype=np.int64)]
+        )
+    del targets_pool
+    return EdgeList(np.array(edges, dtype=np.int64), n).canonical_undirected()
+
+
+def watts_strogatz(
+    n: int, k: int = 4, p: float = 0.1, seed: int | np.random.Generator | None = 0
+) -> EdgeList:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring).
+
+    High clustering coefficient by construction, so it is triangle-rich and
+    a good stress test for listing sinks.
+    """
+    if k % 2 != 0 or k < 0:
+        raise ValueError("k must be a non-negative even integer")
+    if n <= 0:
+        return EdgeList.empty(max(n, 0))
+    if k >= n:
+        return complete_graph(n)
+    rng = as_rng(seed)
+    edges: list[tuple[int, int]] = []
+    half = k // 2
+    for offset in range(1, half + 1):
+        u = np.arange(n, dtype=np.int64)
+        v = (u + offset) % n
+        rewire = rng.random(n) < p
+        new_v = rng.integers(0, n, size=n, dtype=np.int64)
+        v = np.where(rewire, new_v, v)
+        edges.append(np.stack([u, v], axis=1))  # type: ignore[arg-type]
+    all_edges = np.vstack(edges)  # type: ignore[arg-type]
+    return EdgeList(all_edges, n).canonical_undirected()
+
+
+def complete_graph(n: int) -> EdgeList:
+    """The complete graph ``K_n`` -- the paper's worst case for partitioning.
+
+    Partition-based frameworks need ``Θ(n²)`` memory per processor on ``K_n``
+    (section IV-B2), while PDTL only needs memory proportional to the
+    maximum degree, so this generator anchors the memory-requirement tests.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n < 2:
+        return EdgeList.empty(max(n, 0))
+    iu, iv = np.triu_indices(n, k=1)
+    return EdgeList(np.stack([iu, iv], axis=1).astype(np.int64), n)
+
+
+def ring_graph(n: int) -> EdgeList:
+    """Simple cycle on ``n`` vertices (triangle-free for ``n != 3``)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if n < 3:
+        if n == 2:
+            return EdgeList(np.array([[0, 1]], dtype=np.int64), 2)
+        return EdgeList.empty(max(n, 0))
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return EdgeList(np.stack([u, v], axis=1), n).canonical_undirected()
+
+
+def planar_grid(rows: int, cols: int, diagonals: bool = False) -> EdgeList:
+    """A rows×cols planar grid; with ``diagonals=True`` each cell gains one
+    diagonal, producing two triangles per cell while staying planar.
+
+    Planar graphs have constant arboricity (Theorem III.4 case 2), making
+    this the low end of the ``O(α|E|)`` CPU bound.
+    """
+    if rows < 0 or cols < 0:
+        raise ValueError("rows and cols must be non-negative")
+    n = rows * cols
+    if n == 0:
+        return EdgeList.empty(0)
+    idx = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    edges = []
+    if cols > 1:
+        right = np.stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()], axis=1)
+        edges.append(right)
+    if rows > 1:
+        down = np.stack([idx[:-1, :].ravel(), idx[1:, :].ravel()], axis=1)
+        edges.append(down)
+    if diagonals and rows > 1 and cols > 1:
+        diag = np.stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()], axis=1)
+        edges.append(diag)
+    if not edges:
+        return EdgeList.empty(n)
+    return EdgeList(np.vstack(edges), n).canonical_undirected()
+
+
+def power_law_degree_graph(
+    n: int,
+    exponent: float = 2.3,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> EdgeList:
+    """Chung–Lu style graph with a power-law expected degree sequence.
+
+    Used to build the "Yahoo-like" analogue: very sparse on average but
+    with a handful of enormous hubs, which is the structural feature the
+    paper blames for Yahoo's poor scaling beyond 16 cores.
+    """
+    if n <= 1:
+        return EdgeList.empty(max(n, 0))
+    if exponent <= 1.0:
+        raise ValueError("exponent must exceed 1")
+    rng = as_rng(seed)
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(np.sqrt(n) * 4))
+    # inverse-CDF sampling of a bounded Pareto distribution
+    u = rng.random(n)
+    lo, hi, alpha = float(min_degree), float(max_degree), exponent - 1.0
+    weights = (lo**-alpha - u * (lo**-alpha - hi**-alpha)) ** (-1.0 / alpha)
+    total = weights.sum()
+    probs = weights / total
+    m = int(total / 2)
+    if m == 0:
+        return EdgeList.empty(n)
+    src = rng.choice(n, size=m, p=probs)
+    dst = rng.choice(n, size=m, p=probs)
+    edges = np.stack([src, dst], axis=1).astype(np.int64)
+    return EdgeList(edges, n).canonical_undirected()

@@ -1,0 +1,83 @@
+"""Unit tests for the text-report formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    format_seconds_cell,
+    format_table,
+    paper_vs_measured,
+    speedup_table,
+)
+from repro.utils import format_seconds, parse_duration
+
+
+class TestSecondsCells:
+    def test_paper_style_formatting(self):
+        assert format_seconds_cell(164.2) == "2m44.2s"
+        assert format_seconds_cell(4644.5) == "1h17m24.5s"
+        assert format_seconds_cell(3.6) == "3.6s"
+
+    def test_missing_and_failure_markers(self):
+        assert format_seconds_cell(None) == "-"
+        assert format_seconds_cell(float("inf")) == "F"
+
+    def test_roundtrip_with_parse_duration(self):
+        for value in (0.5, 59.9, 60.0, 3600.0, 4644.5):
+            assert parse_duration(format_seconds(value)) == pytest.approx(value, abs=0.05)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [
+            {"Graph": "Twitter", "Time": 12.5},
+            {"Graph": "Yahoo", "Time": 300.0},
+        ]
+        text = format_table(rows, title="Table X")
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "Graph" in lines[1] and "Time" in lines[1]
+        assert "Twitter" in lines[3]
+        assert "Yahoo" in lines[4]
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.startswith("c")
+        assert "b" not in header
+
+    def test_missing_values_render_dash(self):
+        text = format_table([{"a": 1, "b": None}])
+        assert "-" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.123" in text
+
+
+class TestSpeedupTable:
+    def test_speedups_computed(self):
+        baseline = {"Twitter": 100.0}
+        measured = {"Twitter": {"2 cores": 50.0, "4 cores": 25.0}}
+        text = speedup_table(baseline, measured)
+        assert "2.0x" in text
+        assert "4.0x" in text
+
+    def test_zero_time_safe(self):
+        text = speedup_table({"g": 10.0}, {"g": {"x": 0.0}})
+        assert "-" in text
+
+
+class TestPaperVsMeasured:
+    def test_renders_rows(self):
+        rows = [
+            {"experiment": "Table II / Twitter", "paper": "32.8s", "measured": "0.5s"},
+        ]
+        text = paper_vs_measured(rows, title="Comparison")
+        assert "Table II / Twitter" in text
+        assert "paper" in text and "measured" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the in-memory reference counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.inmemory import (
+    forward_count,
+    forward_list,
+    node_iterator_count,
+    per_vertex_triangle_counts,
+    reference_triangle_count,
+)
+from repro.core.orientation import orient_csr
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    planar_grid,
+    ring_graph,
+    rmat,
+    watts_strogatz,
+)
+
+
+KNOWN = [
+    (complete_graph(4), 4),
+    (complete_graph(7), 35),
+    (ring_graph(3), 1),
+    (ring_graph(10), 0),
+    (planar_grid(3, 3, diagonals=True), 8),
+    (EdgeList([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]), 1),
+]
+
+
+@pytest.mark.parametrize("edgelist,expected", KNOWN, ids=[f"case{i}" for i in range(len(KNOWN))])
+def test_known_counts_node_iterator(edgelist, expected):
+    assert node_iterator_count(CSRGraph.from_edgelist(edgelist)) == expected
+
+
+@pytest.mark.parametrize("edgelist,expected", KNOWN, ids=[f"case{i}" for i in range(len(KNOWN))])
+def test_known_counts_forward(edgelist, expected):
+    assert forward_count(CSRGraph.from_edgelist(edgelist)) == expected
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize(
+        "edgelist",
+        [
+            rmat(7, edge_factor=6, seed=0),
+            erdos_renyi(80, p=0.1, seed=1),
+            watts_strogatz(100, k=6, p=0.2, seed=2),
+        ],
+        ids=["rmat", "er", "ws"],
+    )
+    def test_both_algorithms_match_networkx(self, edgelist, nx_count):
+        graph = CSRGraph.from_edgelist(edgelist)
+        expected = nx_count(graph)
+        assert forward_count(graph) == expected
+        assert node_iterator_count(graph) == expected
+
+    def test_per_vertex_matches_networkx(self):
+        import networkx as nx
+
+        graph = CSRGraph.from_edgelist(watts_strogatz(60, k=6, p=0.1, seed=3))
+        expected = nx.triangles(graph.to_networkx())
+        ours = per_vertex_triangle_counts(graph)
+        assert {v: int(c) for v, c in enumerate(ours)} == expected
+
+
+class TestForwardVariants:
+    def test_forward_accepts_pre_oriented_graph(self):
+        graph = CSRGraph.from_edgelist(complete_graph(6))
+        oriented = orient_csr(graph)
+        assert forward_count(oriented) == 20
+
+    def test_forward_list_matches_count(self):
+        graph = CSRGraph.from_edgelist(rmat(6, edge_factor=6, seed=4))
+        assert len(forward_list(graph)) == forward_count(graph)
+
+    def test_forward_list_contains_actual_triangles(self):
+        graph = CSRGraph.from_edgelist(complete_graph(4))
+        for tri in forward_list(graph):
+            vertices = sorted(tri)
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    assert graph.has_edge(vertices[i], vertices[j])
+
+    def test_reference_alias(self):
+        graph = CSRGraph.from_edgelist(complete_graph(5))
+        assert reference_triangle_count(graph) == forward_count(graph) == 10
+
+
+class TestInputValidation:
+    def test_node_iterator_rejects_directed(self):
+        oriented = orient_csr(CSRGraph.from_edgelist(complete_graph(4)))
+        with pytest.raises(ValueError):
+            node_iterator_count(oriented)
+
+    def test_per_vertex_rejects_directed(self):
+        oriented = orient_csr(CSRGraph.from_edgelist(complete_graph(4)))
+        with pytest.raises(ValueError):
+            per_vertex_triangle_counts(oriented)
+
+    def test_empty_graph(self):
+        empty = CSRGraph.empty(3)
+        assert forward_count(empty) == 0
+        assert node_iterator_count(empty) == 0
+        assert per_vertex_triangle_counts(empty).tolist() == [0, 0, 0]

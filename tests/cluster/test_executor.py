@@ -1,0 +1,93 @@
+"""Unit tests for the per-core job execution backends."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cluster.executor import ExecutionBackend, run_jobs
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerialBackend:
+    def test_results_in_order(self):
+        jobs = [lambda i=i: i * 10 for i in range(5)]
+        assert run_jobs(jobs, backend="serial") == [0, 10, 20, 30, 40]
+
+    def test_empty_jobs(self):
+        assert run_jobs([], backend="serial") == []
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            run_jobs([boom], backend="serial")
+
+
+class TestThreadBackend:
+    def test_results_in_submission_order_despite_timing(self):
+        def job(i, delay):
+            def run():
+                time.sleep(delay)
+                return i
+
+            return run
+
+        jobs = [job(0, 0.05), job(1, 0.0), job(2, 0.02)]
+        assert run_jobs(jobs, backend="threads") == [0, 1, 2]
+
+    def test_actually_concurrent(self):
+        barrier = threading.Barrier(3, timeout=5)
+
+        def job():
+            barrier.wait()  # deadlocks unless all three run concurrently
+            return threading.get_ident()
+
+        results = run_jobs([job, job, job], backend="threads")
+        assert len(results) == 3
+
+    def test_single_job_runs_inline(self):
+        assert run_jobs([lambda: 7], backend="threads") == [7]
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise ValueError("bad")
+
+        with pytest.raises(ValueError):
+            run_jobs([boom, lambda: 1], backend="threads")
+
+
+class TestBackendSelection:
+    def test_enum_and_string_equivalent(self):
+        jobs = [lambda: 1, lambda: 2]
+        assert run_jobs(jobs, backend=ExecutionBackend.SERIAL) == run_jobs(
+            jobs, backend="serial"
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_jobs([lambda: 1], backend="quantum")
+
+    def test_max_workers_respected(self):
+        active = []
+        lock = threading.Lock()
+        peak = [0]
+
+        def job():
+            with lock:
+                active.append(1)
+                peak[0] = max(peak[0], len(active))
+            time.sleep(0.01)
+            with lock:
+                active.pop()
+            return True
+
+        run_jobs([job] * 6, backend="threads", max_workers=2)
+        assert peak[0] <= 2

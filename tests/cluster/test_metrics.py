@@ -1,0 +1,93 @@
+"""Unit tests for per-node and cluster metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import ClusterMetrics, NodeMetrics
+from repro.externalmem.iostats import IOStats
+
+
+def make_io(blocks: int = 1) -> IOStats:
+    stats = IOStats()
+    stats.record_read(blocks, blocks * 512, True)
+    return stats
+
+
+class TestNodeMetrics:
+    def test_add_worker_accumulates(self):
+        node = NodeMetrics(node_index=0)
+        node.add_worker(cpu_seconds=1.0, io_seconds=0.5, triangles=10, io_stats=make_io())
+        node.add_worker(cpu_seconds=2.0, io_seconds=0.25, triangles=5, io_stats=make_io())
+        assert node.cpu_seconds == pytest.approx(3.0)
+        assert node.io_seconds == pytest.approx(0.75)
+        assert node.triangles == 15
+        assert node.workers == 2
+        assert node.io_stats.blocks_read == 2
+
+    def test_calc_seconds_is_max_worker_time(self):
+        node = NodeMetrics(node_index=0)
+        node.add_worker(1.0, 0.5, 0, make_io())   # 1.5
+        node.add_worker(0.2, 0.1, 0, make_io())   # 0.3
+        assert node.calc_seconds == pytest.approx(1.5)
+
+    def test_total_seconds_includes_copy(self):
+        node = NodeMetrics(node_index=1, copy_seconds=2.0)
+        node.add_worker(1.0, 0.0, 0, make_io())
+        assert node.total_seconds() == pytest.approx(3.0)
+
+    def test_as_dict_keys(self):
+        d = NodeMetrics(node_index=2).as_dict()
+        assert d["node"] == 2
+        assert "cpu_seconds" in d and "copy_seconds" in d
+
+
+class TestClusterMetrics:
+    def test_node_creates_on_demand(self):
+        metrics = ClusterMetrics()
+        metrics.node(2).copy_seconds = 1.0
+        assert len(metrics.nodes) == 3
+        assert metrics.nodes[2].copy_seconds == 1.0
+
+    def test_totals(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(1.0, 0.5, 10, make_io())
+        metrics.node(1).add_worker(2.0, 1.5, 20, make_io())
+        assert metrics.total_cpu_seconds == pytest.approx(3.0)
+        assert metrics.total_io_seconds == pytest.approx(2.0)
+        assert metrics.total_triangles == 30
+
+    def test_calc_seconds_is_struggler_node(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(1.0, 0.0, 0, make_io())
+        metrics.node(1).add_worker(4.0, 0.0, 0, make_io())
+        assert metrics.calc_seconds == pytest.approx(4.0)
+
+    def test_average_copy_excludes_master(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).copy_seconds = 100.0  # master (should be excluded)
+        metrics.node(1).copy_seconds = 2.0
+        metrics.node(2).copy_seconds = 4.0
+        assert metrics.average_copy_seconds() == pytest.approx(3.0)
+
+    def test_average_copy_single_node(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).copy_seconds = 5.0
+        assert metrics.average_copy_seconds() == pytest.approx(5.0)
+
+    def test_imbalance_ratio(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(1.0, 0.0, 0, make_io())
+        metrics.node(1).add_worker(1.3, 0.0, 0, make_io())
+        assert metrics.imbalance_ratio() == pytest.approx(1.3)
+
+    def test_imbalance_ratio_empty(self):
+        assert ClusterMetrics().imbalance_ratio() == 1.0
+
+    def test_as_rows(self):
+        metrics = ClusterMetrics()
+        metrics.node(0)
+        metrics.node(1)
+        rows = metrics.as_rows()
+        assert len(rows) == 2
+        assert rows[1]["node"] == 1

@@ -1,0 +1,108 @@
+"""Shared fixtures for the PDTL reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PDTLConfig
+from repro.externalmem.blockio import BlockDevice
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    planar_grid,
+    ring_graph,
+    rmat,
+    watts_strogatz,
+)
+
+
+@pytest.fixture
+def device(tmp_path) -> BlockDevice:
+    """A small-block device rooted in the test's temporary directory."""
+    return BlockDevice(tmp_path / "disk", block_size=512)
+
+
+@pytest.fixture
+def small_config() -> PDTLConfig:
+    """A deliberately tiny configuration that forces several MGT windows."""
+    return PDTLConfig(
+        num_nodes=1,
+        procs_per_node=1,
+        memory_per_proc=256 * 1024,
+        block_size=512,
+    )
+
+
+@pytest.fixture
+def k6() -> CSRGraph:
+    """The complete graph on 6 vertices (20 triangles)."""
+    return CSRGraph.from_edgelist(complete_graph(6))
+
+
+@pytest.fixture
+def triangle_graph() -> CSRGraph:
+    """A single triangle."""
+    return CSRGraph.from_edgelist(EdgeList([(0, 1), (1, 2), (0, 2)]))
+
+
+@pytest.fixture
+def triangle_free_graph() -> CSRGraph:
+    """A 6-cycle: connected but triangle-free."""
+    return CSRGraph.from_edgelist(ring_graph(6))
+
+
+@pytest.fixture
+def rmat_small() -> CSRGraph:
+    """A small RMAT graph with a few thousand triangles."""
+    return CSRGraph.from_edgelist(rmat(7, edge_factor=8, seed=3))
+
+
+@pytest.fixture
+def social_small() -> CSRGraph:
+    """A triangle-rich small-world graph."""
+    return CSRGraph.from_edgelist(watts_strogatz(200, k=8, p=0.1, seed=7))
+
+
+@pytest.fixture
+def sparse_random() -> CSRGraph:
+    """A sparse Erdős–Rényi graph (few triangles)."""
+    return CSRGraph.from_edgelist(erdos_renyi(300, p=0.01, seed=11))
+
+
+@pytest.fixture
+def grid_graph() -> CSRGraph:
+    """A planar grid with diagonals: 2 triangles per cell, constant arboricity."""
+    return CSRGraph.from_edgelist(planar_grid(10, 12, diagonals=True))
+
+
+@pytest.fixture
+def empty_graph() -> CSRGraph:
+    return CSRGraph.empty(5)
+
+
+def networkx_triangle_count(graph: CSRGraph) -> int:
+    """Reference triangle count via networkx (used by several test modules)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.iter_edges())
+    return sum(nx.triangles(g).values()) // 3
+
+
+@pytest.fixture
+def nx_count():
+    return networkx_triangle_count
+
+
+def random_small_graph(seed: int, max_vertices: int = 40, edge_prob: float = 0.2) -> CSRGraph:
+    """Deterministic small random graph used by the property-style sweeps."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, max_vertices))
+    iu, iv = np.triu_indices(n, k=1)
+    keep = rng.random(iu.shape[0]) < edge_prob
+    edges = np.stack([iu[keep], iv[keep]], axis=1)
+    return CSRGraph.from_edgelist(EdgeList(edges, n))

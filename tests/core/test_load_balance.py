@@ -1,0 +1,136 @@
+"""Unit tests for edge-range splitting (naive and load-balanced)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.load_balance import (
+    EdgeRange,
+    balanced_split,
+    naive_split,
+    ranges_cover_exactly,
+    split_edges,
+)
+from repro.core.orientation import orient_csr
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+
+
+class TestNaiveSplit:
+    def test_covers_exactly(self):
+        ranges = naive_split(100, num_nodes=2, procs_per_node=3)
+        assert len(ranges) == 6
+        assert ranges_cover_exactly(ranges, 100)
+
+    def test_sizes_differ_by_at_most_one(self):
+        ranges = naive_split(100, num_nodes=1, procs_per_node=7)
+        sizes = [r.num_edges for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_node_and_proc_assignment(self):
+        ranges = naive_split(40, num_nodes=2, procs_per_node=2)
+        assert [(r.node_index, r.proc_index) for r in ranges] == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_more_processors_than_edges(self):
+        ranges = naive_split(3, num_nodes=1, procs_per_node=8)
+        assert ranges_cover_exactly(ranges, 3)
+        assert sum(r.num_edges for r in ranges) == 3
+
+    def test_zero_edges(self):
+        ranges = naive_split(0, num_nodes=2, procs_per_node=2)
+        assert ranges_cover_exactly(ranges, 0)
+
+    def test_contains(self):
+        r = EdgeRange(0, 0, 10, 20)
+        assert 10 in r and 19 in r
+        assert 20 not in r and 9 not in r
+
+
+class TestBalancedSplit:
+    @pytest.fixture
+    def oriented_degrees(self):
+        g = CSRGraph.from_edgelist(rmat(8, edge_factor=8, seed=0))
+        oriented = orient_csr(g)
+        out_degrees = oriented.degrees
+        in_degrees = g.degrees - out_degrees
+        return g, out_degrees, in_degrees
+
+    def test_covers_exactly(self, oriented_degrees):
+        g, out_deg, in_deg = oriented_degrees
+        ranges = balanced_split(out_deg, in_deg, num_nodes=2, procs_per_node=4)
+        assert ranges_cover_exactly(ranges, int(out_deg.sum()))
+
+    def test_balances_in_degree_weight(self, oriented_degrees):
+        g, out_deg, in_deg = oriented_degrees
+        parts = 8
+        ranges = balanced_split(out_deg, in_deg, num_nodes=1, procs_per_node=parts)
+        # compute per-range weight (in-degree of the source vertex of each edge)
+        offsets = np.concatenate([[0], np.cumsum(out_deg)])
+        edge_weights = np.repeat(in_deg, out_deg).astype(np.float64)
+        totals = [edge_weights[r.start : r.stop].sum() for r in ranges]
+        mean = np.mean([t for t in totals if t > 0])
+        # balanced split should keep every non-empty part within 3x of the mean
+        assert max(totals) <= 3 * mean + 1
+
+    def test_better_than_naive_on_skewed_input(self):
+        # construct a pathological weight distribution: all in-degree mass on
+        # the first few vertices
+        out_degrees = np.full(100, 10, dtype=np.int64)
+        in_degrees = np.zeros(100, dtype=np.int64)
+        in_degrees[:5] = 1000
+        balanced = balanced_split(out_degrees, in_degrees, 1, 4)
+        naive = naive_split(int(out_degrees.sum()), 1, 4)
+        edge_weights = np.repeat(in_degrees, out_degrees).astype(float)
+
+        def max_weight(ranges):
+            return max(edge_weights[r.start : r.stop].sum() for r in ranges)
+
+        assert max_weight(balanced) < max_weight(naive)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_split(np.ones(3), np.ones(4), 1, 2)
+
+    def test_zero_edges(self):
+        ranges = balanced_split(np.zeros(5, dtype=np.int64), np.zeros(5, dtype=np.int64), 2, 2)
+        assert ranges_cover_exactly(ranges, 0)
+
+    def test_single_processor_gets_everything(self, oriented_degrees):
+        _, out_deg, in_deg = oriented_degrees
+        ranges = balanced_split(out_deg, in_deg, 1, 1)
+        assert len(ranges) == 1
+        assert ranges[0].start == 0
+        assert ranges[0].stop == int(out_deg.sum())
+
+
+class TestSplitEdgesDispatch:
+    def test_dispatches_to_naive_without_degrees(self):
+        ranges = split_edges(50, 1, 5, load_balanced=True)
+        sizes = [r.num_edges for r in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_dispatches_to_balanced_with_degrees(self):
+        out_degrees = np.array([10, 10, 10, 10], dtype=np.int64)
+        in_degrees = np.array([100, 0, 0, 0], dtype=np.int64)
+        balanced = split_edges(
+            40, 1, 2, out_degrees=out_degrees, in_degrees=in_degrees, load_balanced=True
+        )
+        naive = split_edges(
+            40, 1, 2, out_degrees=out_degrees, in_degrees=in_degrees, load_balanced=False
+        )
+        assert [r.num_edges for r in naive] == [20, 20]
+        assert [r.num_edges for r in balanced] != [20, 20]
+
+    def test_ranges_cover_exactly_helper(self):
+        good = [EdgeRange(0, 0, 0, 5), EdgeRange(0, 1, 5, 9)]
+        assert ranges_cover_exactly(good, 9)
+        gap = [EdgeRange(0, 0, 0, 4), EdgeRange(0, 1, 5, 9)]
+        assert not ranges_cover_exactly(gap, 9)
+        short = [EdgeRange(0, 0, 0, 4)]
+        assert not ranges_cover_exactly(short, 9)

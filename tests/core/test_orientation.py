@@ -1,0 +1,159 @@
+"""Unit tests for degree-based ordering and orientation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.orientation import (
+    degree_order_keys,
+    orient_csr,
+    orient_graph,
+    precedes,
+)
+from repro.graph.binfmt import write_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import complete_graph, rmat, watts_strogatz
+
+
+class TestDegreeOrder:
+    def test_lower_degree_precedes(self):
+        degrees = np.array([1, 3, 2])
+        assert precedes(0, 1, degrees)
+        assert precedes(2, 1, degrees)
+        assert not precedes(1, 0, degrees)
+
+    def test_ties_broken_by_vertex_id(self):
+        degrees = np.array([2, 2, 2])
+        assert precedes(0, 1, degrees)
+        assert precedes(1, 2, degrees)
+        assert not precedes(2, 0, degrees)
+
+    def test_keys_are_strict_total_order(self):
+        degrees = np.array([3, 1, 3, 1, 2])
+        keys = degree_order_keys(degrees)
+        assert len(set(keys.tolist())) == 5
+        for u in range(5):
+            for v in range(5):
+                if u == v:
+                    continue
+                assert (keys[u] < keys[v]) == precedes(u, v, degrees)
+
+    def test_keys_monotone_in_degree(self):
+        degrees = np.array([0, 5, 10, 10])
+        keys = degree_order_keys(degrees)
+        assert keys[0] < keys[1] < keys[2] < keys[3]
+
+
+class TestOrientCSR:
+    def test_each_edge_appears_once(self):
+        g = CSRGraph.from_edgelist(complete_graph(6))
+        oriented = orient_csr(g)
+        assert oriented.directed
+        assert oriented.num_edges == g.num_undirected_edges
+
+    def test_orientation_is_acyclic(self):
+        import networkx as nx
+
+        g = CSRGraph.from_edgelist(rmat(6, edge_factor=6, seed=0))
+        oriented = orient_csr(g)
+        assert nx.is_directed_acyclic_graph(oriented.to_networkx())
+
+    def test_edges_point_from_smaller_to_larger(self):
+        g = CSRGraph.from_edgelist(watts_strogatz(50, k=6, p=0.2, seed=1))
+        oriented = orient_csr(g)
+        degrees = g.degrees
+        for u, v in oriented.iter_edges():
+            assert precedes(u, v, degrees)
+
+    def test_adjacency_stays_sorted(self):
+        g = CSRGraph.from_edgelist(rmat(7, edge_factor=6, seed=2))
+        oriented = orient_csr(g)
+        oriented.check_sorted_adjacency()
+
+    def test_max_out_degree_bounded_by_sqrt_2m(self):
+        # classic property of the degree orientation: d*(v) = O(sqrt(|E|))
+        g = CSRGraph.from_edgelist(rmat(8, edge_factor=8, seed=3))
+        oriented = orient_csr(g)
+        bound = 2 * np.sqrt(2 * g.num_undirected_edges) + 1
+        assert oriented.max_degree <= bound
+
+    def test_rejects_directed_input(self):
+        g = orient_csr(CSRGraph.from_edgelist(complete_graph(4)))
+        with pytest.raises(ValueError):
+            orient_csr(g)
+
+    def test_empty_graph(self):
+        oriented = orient_csr(CSRGraph.empty(5))
+        assert oriented.num_edges == 0
+        assert oriented.num_vertices == 5
+
+    def test_star_graph_orientation(self):
+        # star: leaves have degree 1 and the hub n-1, so all edges point to the hub
+        g = CSRGraph.from_edgelist(EdgeList([(0, i) for i in range(1, 6)]))
+        oriented = orient_csr(g)
+        for u, v in oriented.iter_edges():
+            assert v == 0
+
+
+class TestOrientGraphOnDisk:
+    @pytest.fixture
+    def on_disk(self, device):
+        g = CSRGraph.from_edgelist(rmat(7, edge_factor=6, seed=4))
+        return g, write_graph(device, "g", g)
+
+    def test_matches_in_memory_orientation(self, on_disk):
+        g, gf = on_disk
+        result = orient_graph(gf, num_workers=1)
+        assert result.oriented.to_csr() == orient_csr(g)
+
+    def test_parallel_matches_sequential(self, on_disk):
+        g, gf = on_disk
+        sequential = orient_graph(gf, num_workers=1, output_name="seq")
+        parallel = orient_graph(gf, num_workers=4, output_name="par")
+        assert sequential.oriented.to_csr() == parallel.oriented.to_csr()
+
+    def test_degree_arrays_consistent(self, on_disk):
+        g, gf = on_disk
+        result = orient_graph(gf, num_workers=2)
+        np.testing.assert_array_equal(
+            result.out_degrees + result.in_degrees, g.degrees
+        )
+        assert result.max_out_degree == int(result.out_degrees.max())
+
+    def test_oriented_edge_count_is_half(self, on_disk):
+        g, gf = on_disk
+        result = orient_graph(gf, num_workers=3)
+        assert result.num_edges == g.num_undirected_edges
+
+    def test_rejects_oriented_input(self, on_disk, device):
+        _, gf = on_disk
+        oriented = orient_graph(gf).oriented
+        with pytest.raises(ValueError):
+            orient_graph(oriented)
+
+    def test_invalid_worker_count(self, on_disk):
+        _, gf = on_disk
+        with pytest.raises(ValueError):
+            orient_graph(gf, num_workers=0)
+
+    def test_output_written_to_requested_device(self, on_disk, tmp_path):
+        from repro.externalmem.blockio import BlockDevice
+
+        _, gf = on_disk
+        other = BlockDevice(tmp_path / "other")
+        result = orient_graph(gf, device=other, output_name="oriented_copy")
+        assert other.exists("oriented_copy.adj")
+        assert result.oriented.device is other
+
+    def test_elapsed_time_recorded(self, on_disk):
+        _, gf = on_disk
+        assert orient_graph(gf).elapsed_seconds >= 0.0
+
+    def test_empty_graph_on_disk(self, device):
+        g = CSRGraph.empty(4)
+        gf = write_graph(device, "empty", g)
+        result = orient_graph(gf)
+        assert result.num_edges == 0
+        assert result.max_out_degree == 0

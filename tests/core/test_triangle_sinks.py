@@ -1,0 +1,160 @@
+"""Unit tests for triangle records and sinks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.triangles import (
+    CountingSink,
+    FileSink,
+    ListingSink,
+    PerVertexCountSink,
+    Triangle,
+    make_sink,
+)
+
+
+class TestTriangle:
+    def test_vertex_set(self):
+        t = Triangle(0, 1, 2)
+        assert t.as_vertex_set() == frozenset({0, 1, 2})
+
+    def test_iteration(self):
+        assert tuple(Triangle(3, 4, 5)) == (3, 4, 5)
+
+    def test_ordering_and_equality(self):
+        assert Triangle(0, 1, 2) == Triangle(0, 1, 2)
+        assert Triangle(0, 1, 2) < Triangle(0, 1, 3)
+
+    def test_hashable(self):
+        assert len({Triangle(0, 1, 2), Triangle(0, 1, 2)}) == 1
+
+
+class TestCountingSink:
+    def test_add_and_batch(self):
+        sink = CountingSink()
+        sink.add(0, 1, 2)
+        sink.add_batch(0, 1, np.array([3, 4, 5]))
+        assert sink.count == 4
+
+    def test_empty_batch(self):
+        sink = CountingSink()
+        sink.add_batch(0, 1, np.empty(0, dtype=np.int64))
+        assert sink.count == 0
+
+    def test_merge(self):
+        a, b = CountingSink(), CountingSink()
+        a.add(0, 1, 2)
+        b.add_batch(1, 2, np.array([3, 4]))
+        a.merge(b)
+        assert a.count == 3
+
+
+class TestListingSink:
+    def test_collects_triangles(self):
+        sink = ListingSink()
+        sink.add(0, 1, 2)
+        sink.add_batch(0, 3, np.array([4, 5]))
+        assert sink.count == 3
+        assert Triangle(0, 3, 4) in sink.triangles
+
+    def test_vertex_sets(self):
+        sink = ListingSink()
+        sink.add(0, 1, 2)
+        assert sink.vertex_sets() == {frozenset({0, 1, 2})}
+
+    def test_merge(self):
+        a, b = ListingSink(), ListingSink()
+        a.add(0, 1, 2)
+        b.add(3, 4, 5)
+        a.merge(b)
+        assert a.count == 2
+        assert len(a.triangles) == 2
+
+
+class TestFileSink:
+    def test_write_and_read_back(self, device):
+        sink = FileSink(device.open("triangles.bin"), buffer_triangles=2)
+        sink.add(0, 1, 2)
+        sink.add_batch(3, 4, np.array([5, 6, 7]))
+        triangles = sink.read_all()
+        assert sink.count == 4
+        assert Triangle(0, 1, 2) in triangles
+        assert Triangle(3, 4, 7) in triangles
+
+    def test_buffering_flushes_automatically(self, device):
+        file = device.open("triangles.bin")
+        sink = FileSink(file, buffer_triangles=1)
+        sink.add(0, 1, 2)
+        sink.add(1, 2, 3)
+        # with a 1-triangle buffer both adds must already be on disk
+        assert file.num_items() >= 3
+
+    def test_output_charged_to_device(self, device):
+        device.stats.reset()
+        sink = FileSink(device.open("triangles.bin"), buffer_triangles=1)
+        for i in range(10):
+            sink.add(i, i + 1, i + 2)
+        sink.flush()
+        assert device.stats.bytes_written >= 10 * 24
+
+    def test_empty_batch_noop(self, device):
+        sink = FileSink(device.open("t.bin"))
+        sink.add_batch(0, 1, np.empty(0, dtype=np.int64))
+        assert sink.count == 0
+        assert sink.read_all() == []
+
+
+class TestPerVertexCountSink:
+    def test_single_triangle(self):
+        sink = PerVertexCountSink(5)
+        sink.add(0, 1, 2)
+        assert sink.per_vertex.tolist() == [1, 1, 1, 0, 0]
+
+    def test_batch(self):
+        sink = PerVertexCountSink(6)
+        sink.add_batch(0, 1, np.array([2, 3]))
+        assert sink.per_vertex.tolist() == [2, 2, 1, 1, 0, 0]
+        assert sink.count == 2
+
+    def test_repeated_w_in_batch(self):
+        sink = PerVertexCountSink(4)
+        sink.add_batch(0, 1, np.array([2, 2]))
+        assert sink.per_vertex[2] == 2
+
+    def test_merge(self):
+        a, b = PerVertexCountSink(3), PerVertexCountSink(3)
+        a.add(0, 1, 2)
+        b.add(0, 1, 2)
+        a.merge(b)
+        assert a.count == 2
+        assert a.per_vertex.tolist() == [2, 2, 2]
+
+
+class TestMakeSink:
+    def test_count(self):
+        assert isinstance(make_sink("count"), CountingSink)
+
+    def test_list(self):
+        assert isinstance(make_sink("list"), ListingSink)
+
+    def test_per_vertex(self):
+        sink = make_sink("per-vertex", num_vertices=4)
+        assert isinstance(sink, PerVertexCountSink)
+
+    def test_per_vertex_requires_size(self):
+        with pytest.raises(ValueError):
+            make_sink("per-vertex")
+
+    def test_file_requires_file(self):
+        with pytest.raises(ValueError):
+            make_sink("file")
+
+    def test_file(self, device):
+        sink = make_sink("file", file=device.open("t.bin"))
+        assert isinstance(sink, FileSink)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_sink("bogus")

@@ -1,0 +1,193 @@
+"""Unit tests for the simulated block device and block files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PDTLError
+from repro.externalmem.blockio import BlockDevice, BlockFile, DiskModel
+from repro.utils import ceil_div
+
+
+class TestDeviceBasics:
+    def test_creates_root_directory(self, tmp_path):
+        root = tmp_path / "nested" / "disk"
+        BlockDevice(root)
+        assert root.is_dir()
+
+    def test_block_size_parsing(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size="4k")
+        assert dev.block_size == 4096
+
+    def test_invalid_block_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            BlockDevice(tmp_path, block_size=0)
+
+    def test_file_lifecycle(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        assert not dev.exists("a.bin")
+        dev.open("a.bin")
+        assert dev.exists("a.bin")
+        assert dev.file_size("a.bin") == 0
+        dev.delete("a.bin")
+        assert not dev.exists("a.bin")
+
+    def test_list_files(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        dev.open("b.bin")
+        dev.open("a.bin")
+        assert dev.list_files() == ["a.bin", "b.bin"]
+
+    def test_clear_removes_everything(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        dev.open("a.bin").append_array(np.arange(10))
+        dev.clear()
+        assert dev.list_files() == []
+
+    def test_path_escape_rejected(self, tmp_path):
+        dev = BlockDevice(tmp_path / "disk")
+        with pytest.raises(PDTLError):
+            dev.path("../outside.bin")
+
+
+class TestAccounting:
+    def test_sequential_read_counts_blocks(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=64)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(100, dtype=np.int64))  # 800 bytes
+        dev.stats.reset()
+        f.read_array(0, 100)
+        assert dev.stats.blocks_read == ceil_div(800, 64)
+        assert dev.stats.bytes_read == 800
+        assert dev.stats.read_calls == 1
+
+    def test_write_accounting(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=64)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(16, dtype=np.int64))  # 128 bytes = 2 blocks
+        assert dev.stats.blocks_written == 2
+        assert dev.stats.bytes_written == 128
+
+    def test_sequential_vs_random_classification(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=64)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(200, dtype=np.int64))
+        dev.stats.reset()
+        f.read_array(0, 8)     # block 0: head is at the end of the write -> random
+        f.read_array(8, 8)     # block 1: follows block 0 -> sequential
+        f.read_array(16, 8)    # block 2: sequential continuation
+        f.read_array(120, 8)   # far block -> random
+        assert dev.stats.sequential_reads == 2
+        assert dev.stats.random_reads == 2
+
+    def test_device_time_accumulates(self, tmp_path):
+        model = DiskModel(bandwidth_bytes_per_s=1e6, seek_latency_s=0.0)
+        dev = BlockDevice(tmp_path, block_size=64, model=model)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(1000, dtype=np.int64))
+        before = dev.stats.device_seconds
+        f.read_array(0, 1000)
+        # 8000 bytes at 1 MB/s = 8 ms
+        assert dev.stats.device_seconds - before == pytest.approx(0.008, rel=0.01)
+
+    def test_copy_file_charges_both_devices(self, tmp_path):
+        src = BlockDevice(tmp_path / "src", block_size=64)
+        dst = BlockDevice(tmp_path / "dst", block_size=64)
+        f = src.open("data.bin")
+        f.append_array(np.arange(64, dtype=np.int64))
+        src.stats.reset()
+        nbytes = src.copy_file("data.bin", dst)
+        assert nbytes == 512
+        assert src.stats.bytes_read == 512
+        assert dst.stats.bytes_written == 512
+        assert dst.file_size("data.bin") == 512
+
+    def test_copy_missing_file_raises(self, tmp_path):
+        src = BlockDevice(tmp_path / "src")
+        dst = BlockDevice(tmp_path / "dst")
+        with pytest.raises(PDTLError):
+            src.copy_file("missing.bin", dst)
+
+
+class TestBlockFile:
+    def test_array_roundtrip(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        data = np.arange(50, dtype=np.int64)
+        f.append_array(data)
+        np.testing.assert_array_equal(f.read_array(0, 50), data)
+
+    def test_partial_reads(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        f.append_array(np.arange(100, dtype=np.int64))
+        np.testing.assert_array_equal(f.read_array(10, 5), np.arange(10, 15))
+
+    def test_write_at_offset(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        f.append_array(np.zeros(10, dtype=np.int64))
+        f.write_array(np.array([7, 8], dtype=np.int64), offset_items=3)
+        out = f.read_array(0, 10)
+        assert out[3] == 7 and out[4] == 8 and out[0] == 0
+
+    def test_other_dtypes(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("f64.bin")
+        data = np.linspace(0, 1, 20)
+        f.append_array(data)
+        np.testing.assert_allclose(f.read_array(0, 20, dtype=np.float64), data)
+
+    def test_num_items(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        f.append_array(np.arange(12, dtype=np.int64))
+        assert f.num_items() == 12
+        assert f.num_items(dtype=np.int32) == 24
+
+    def test_iter_chunks_covers_file(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        data = np.arange(105, dtype=np.int64)
+        f.append_array(data)
+        chunks = list(f.iter_chunks(20))
+        assert sum(c.shape[0] for c in chunks) == 105
+        np.testing.assert_array_equal(np.concatenate(chunks), data)
+
+    def test_iter_chunks_invalid(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        with pytest.raises(ValueError):
+            list(f.iter_chunks(0))
+
+    def test_truncate(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        f.append_array(np.arange(10, dtype=np.int64))
+        f.truncate(0)
+        assert f.size_bytes == 0
+
+    def test_negative_offsets_rejected(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        with pytest.raises(ValueError):
+            f.read_bytes(-1, 4)
+        with pytest.raises(ValueError):
+            f.write_bytes(-1, b"xx")
+
+    def test_delete_via_file_handle(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("arr.bin")
+        f.delete()
+        assert not dev.exists("arr.bin")
+
+
+class TestDiskModel:
+    def test_sequential_faster_than_random(self):
+        model = DiskModel(bandwidth_bytes_per_s=100e6, seek_latency_s=1e-3)
+        assert model.transfer_time(4096, True) < model.transfer_time(4096, False)
+
+    def test_zero_bandwidth_means_free_transfer(self):
+        model = DiskModel(bandwidth_bytes_per_s=0.0, seek_latency_s=0.0)
+        assert model.transfer_time(1 << 20, True) == 0.0

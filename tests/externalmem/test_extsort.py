@@ -1,0 +1,121 @@
+"""Unit tests for external merge sort of edge files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.externalmem.blockio import BlockDevice
+from repro.externalmem.extsort import (
+    external_sort_edges,
+    read_edge_file,
+    write_edge_file,
+)
+
+
+def random_edges(m: int, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=(m, 2), dtype=np.int64)
+
+
+def is_lexsorted(edges: np.ndarray) -> bool:
+    if edges.shape[0] <= 1:
+        return True
+    keys = edges[:, 0] * (edges[:, 1].max() + 1 if edges.size else 1) + edges[:, 1]
+    # robust check without overflow concerns for test sizes
+    for i in range(1, edges.shape[0]):
+        a, b = edges[i - 1], edges[i]
+        if (a[0], a[1]) > (b[0], b[1]):
+            return False
+    return True
+
+
+class TestEdgeFileHelpers:
+    def test_write_read_roundtrip(self, device):
+        edges = random_edges(50, 20)
+        write_edge_file(device, "edges.bin", edges)
+        np.testing.assert_array_equal(read_edge_file(device, "edges.bin"), edges)
+
+    def test_empty_file(self, device):
+        write_edge_file(device, "empty.bin", np.empty((0, 2), dtype=np.int64))
+        assert read_edge_file(device, "empty.bin").shape == (0, 2)
+
+
+class TestExternalSort:
+    def test_sorts_small_input_in_one_run(self, device):
+        edges = random_edges(100, 30, seed=1)
+        write_edge_file(device, "in.bin", edges)
+        result = external_sort_edges(device, "in.bin", "out.bin", memory_bytes=1 << 20)
+        assert result.num_runs == 1
+        assert result.merge_passes == 0
+        out = read_edge_file(device, "out.bin")
+        assert is_lexsorted(out)
+        assert out.shape == edges.shape
+
+    def test_multi_run_merge(self, device):
+        edges = random_edges(2000, 100, seed=2)
+        write_edge_file(device, "in.bin", edges)
+        # memory for only ~128 edges per run -> many runs and >= 1 merge pass
+        result = external_sort_edges(device, "in.bin", "out.bin", memory_bytes=2048)
+        assert result.num_runs > 1
+        assert result.merge_passes >= 1
+        out = read_edge_file(device, "out.bin")
+        assert is_lexsorted(out)
+
+    def test_output_is_permutation_of_input(self, device):
+        edges = random_edges(500, 40, seed=3)
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=4096)
+        out = read_edge_file(device, "out.bin")
+        expected = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_already_sorted_input(self, device):
+        edges = random_edges(300, 30, seed=4)
+        edges = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=2048)
+        np.testing.assert_array_equal(read_edge_file(device, "out.bin"), edges)
+
+    def test_empty_input(self, device):
+        write_edge_file(device, "in.bin", np.empty((0, 2), dtype=np.int64))
+        result = external_sort_edges(device, "in.bin", "out.bin", memory_bytes=4096)
+        assert result.num_edges == 0
+        assert read_edge_file(device, "out.bin").shape == (0, 2)
+
+    def test_duplicates_preserved(self, device):
+        edges = np.array([[1, 2]] * 10 + [[0, 5]] * 5, dtype=np.int64)
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=512)
+        out = read_edge_file(device, "out.bin")
+        assert out.shape[0] == 15
+        assert (out[:5] == [0, 5]).all()
+        assert (out[5:] == [1, 2]).all()
+
+    def test_input_left_intact(self, device):
+        edges = random_edges(200, 20, seed=5)
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=1024)
+        np.testing.assert_array_equal(read_edge_file(device, "in.bin"), edges)
+
+    def test_temporary_runs_cleaned_up(self, device):
+        edges = random_edges(1000, 50, seed=6)
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=1024)
+        leftovers = [f for f in device.list_files() if f.startswith("_extsort")]
+        assert leftovers == []
+
+    def test_too_small_memory_rejected(self, device):
+        write_edge_file(device, "in.bin", random_edges(10, 5))
+        with pytest.raises(ConfigurationError):
+            external_sort_edges(device, "in.bin", "out.bin", memory_bytes=16)
+
+    def test_io_is_accounted(self, device):
+        edges = random_edges(1000, 50, seed=7)
+        write_edge_file(device, "in.bin", edges)
+        device.stats.reset()
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=2048)
+        # at minimum the input is read once and the output written once
+        assert device.stats.bytes_read >= edges.nbytes
+        assert device.stats.bytes_written >= edges.nbytes

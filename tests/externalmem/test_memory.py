@@ -1,0 +1,99 @@
+"""Unit tests for the MemoryBudget allocator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.externalmem.memory import MemoryBudget
+
+
+class TestAllocation:
+    def test_basic_allocation(self):
+        budget = MemoryBudget(1000)
+        budget.allocate("a", 400)
+        assert budget.used == 400
+        assert budget.free == 600
+
+    def test_capacity_parsing(self):
+        assert MemoryBudget("1KB").capacity == 1024
+        assert MemoryBudget("2MB").capacity == 2 * 1024 * 1024
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryBudget(0)
+
+    def test_over_allocation_raises(self):
+        budget = MemoryBudget(100)
+        budget.allocate("a", 80)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            budget.allocate("b", 30)
+        assert excinfo.value.requested == 30
+        assert excinfo.value.available == 20
+
+    def test_reallocation_replaces_previous(self):
+        budget = MemoryBudget(100)
+        budget.allocate("a", 80)
+        budget.allocate("a", 40)  # shrink, should not raise
+        assert budget.used == 40
+        budget.allocate("a", 90)  # grow within capacity
+        assert budget.used == 90
+
+    def test_release(self):
+        budget = MemoryBudget(100)
+        budget.allocate("a", 50)
+        budget.release("a")
+        assert budget.used == 0
+        budget.release("missing")  # no-op
+
+    def test_release_all(self):
+        budget = MemoryBudget(100)
+        budget.allocate("a", 10)
+        budget.allocate("b", 20)
+        budget.release_all()
+        assert budget.used == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(100).allocate("a", -1)
+
+    def test_peak_usage_tracking(self):
+        budget = MemoryBudget(100)
+        budget.allocate("a", 60)
+        budget.release("a")
+        budget.allocate("b", 30)
+        assert budget.peak_usage == 60
+
+    def test_require_transient_check(self):
+        budget = MemoryBudget(100)
+        budget.allocate("a", 50)
+        budget.require(40)  # fits
+        with pytest.raises(OutOfMemoryError):
+            budget.require(60)
+
+    def test_allocate_array(self):
+        budget = MemoryBudget(10_000)
+        arr = budget.allocate_array("scratch", 100, dtype=np.int64)
+        assert arr.shape == (100,)
+        assert budget.used == 800
+
+    def test_allocate_array_too_large(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(OutOfMemoryError):
+            budget.allocate_array("big", 1000, dtype=np.int64)
+
+    def test_max_items(self):
+        budget = MemoryBudget(1000)
+        assert budget.max_items(8) == 125
+        budget.allocate("a", 200)
+        assert budget.max_items(8) == 100
+        assert budget.max_items(8, reserve_fraction=0.5) == (800 - 500) // 8
+
+    def test_max_items_invalid(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(100).max_items(0)
+
+    def test_repr_contains_sizes(self):
+        text = repr(MemoryBudget(2048))
+        assert "2.0KiB" in text

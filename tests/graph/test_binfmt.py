@@ -1,0 +1,172 @@
+"""Unit tests for the on-disk degree/adjacency binary graph format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.externalmem.blockio import BlockDevice
+from repro.graph.binfmt import open_graph, write_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import complete_graph, rmat
+from repro.core.orientation import orient_csr
+
+
+@pytest.fixture
+def graph() -> CSRGraph:
+    return CSRGraph.from_edgelist(rmat(6, edge_factor=6, seed=1))
+
+
+class TestWriteAndOpen:
+    def test_roundtrip_metadata(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        assert gf.num_vertices == graph.num_vertices
+        assert gf.num_edges == graph.num_edges
+        assert gf.max_degree == graph.max_degree
+        assert not gf.directed
+
+    def test_open_reads_same_metadata(self, device, graph):
+        write_graph(device, "g", graph)
+        gf = open_graph(device, "g")
+        assert gf.num_vertices == graph.num_vertices
+        assert gf.num_edges == graph.num_edges
+        assert gf.max_degree == graph.max_degree
+
+    def test_open_missing_graph(self, device):
+        with pytest.raises(GraphFormatError):
+            open_graph(device, "nope")
+
+    def test_corrupt_metadata_rejected(self, device, graph):
+        write_graph(device, "g", graph)
+        meta = device.open("g.meta")
+        meta.write_array(np.array([0], dtype=np.int64), offset_items=0)
+        with pytest.raises(GraphFormatError):
+            open_graph(device, "g")
+
+    def test_directed_flag_roundtrip(self, device, graph):
+        oriented = orient_csr(graph)
+        gf = write_graph(device, "o", oriented)
+        assert gf.directed
+        assert open_graph(device, "o").directed
+
+    def test_write_rejects_unsorted_graph(self, device):
+        bad = CSRGraph(np.array([0, 2, 2]), np.array([1, 0]))
+        with pytest.raises(GraphFormatError):
+            write_graph(device, "bad", bad)
+
+    def test_overwrite_existing(self, device, graph):
+        write_graph(device, "g", graph)
+        small = CSRGraph.from_edgelist(complete_graph(3))
+        gf = write_graph(device, "g", small)
+        assert gf.num_vertices == 3
+        assert open_graph(device, "g").num_vertices == 3
+
+
+class TestReads:
+    def test_read_degrees(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        np.testing.assert_array_equal(gf.read_degrees(), graph.degrees)
+
+    def test_read_degree_range(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        np.testing.assert_array_equal(
+            gf.read_degree_range(3, 5), graph.degrees[3:8]
+        )
+
+    def test_read_degree_range_out_of_bounds(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        with pytest.raises(GraphFormatError):
+            gf.read_degree_range(0, graph.num_vertices + 1)
+
+    def test_read_adjacency_range(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        np.testing.assert_array_equal(
+            gf.read_adjacency_range(0, graph.num_edges), graph.indices
+        )
+
+    def test_read_adjacency_range_out_of_bounds(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        with pytest.raises(GraphFormatError):
+            gf.read_adjacency_range(graph.num_edges, 1)
+
+    def test_read_neighbors(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        offsets = gf.offsets()
+        for v in (0, graph.num_vertices // 2, graph.num_vertices - 1):
+            np.testing.assert_array_equal(
+                gf.read_neighbors(v, offsets), graph.neighbors(v)
+            )
+
+    def test_to_csr_roundtrip(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        assert gf.to_csr() == graph
+
+    def test_iter_adjacency_blocks_cover_graph(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        seen_degrees = []
+        seen_adjacency = []
+        for first, degrees, adjacency in gf.iter_adjacency_blocks(7):
+            seen_degrees.append(degrees)
+            seen_adjacency.append(adjacency)
+        np.testing.assert_array_equal(np.concatenate(seen_degrees), graph.degrees)
+        np.testing.assert_array_equal(np.concatenate(seen_adjacency), graph.indices)
+
+    def test_size_bytes(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        expected = 8 * (graph.num_vertices + graph.num_edges)
+        assert gf.size_bytes == expected
+
+
+class TestValidateAndCopy:
+    def test_validate_passes_for_written_graph(self, device, graph):
+        write_graph(device, "g", graph).validate()
+
+    def test_validate_detects_tampered_degree_file(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        deg = device.open("g.deg")
+        tampered = gf.read_degrees()
+        tampered[0] += 1
+        deg.write_array(tampered)
+        with pytest.raises(GraphFormatError):
+            gf.validate()
+
+    def test_copy_to_other_device(self, tmp_path, device, graph):
+        gf = write_graph(device, "g", graph)
+        other = BlockDevice(tmp_path / "other", block_size=512)
+        copy = gf.copy_to(other)
+        assert copy.to_csr() == graph
+        assert other.exists("g.deg") and other.exists("g.adj")
+        # the copy is readable through open_graph on the destination device
+        assert open_graph(other, "g").num_edges == graph.num_edges
+
+    def test_copy_charges_io_on_both_devices(self, tmp_path, device, graph):
+        gf = write_graph(device, "g", graph)
+        other = BlockDevice(tmp_path / "other", block_size=512)
+        before_src = device.stats.bytes_read
+        before_dst = other.stats.bytes_written
+        gf.copy_to(other)
+        assert device.stats.bytes_read > before_src
+        assert other.stats.bytes_written > before_dst
+
+    def test_delete_removes_files(self, device, graph):
+        gf = write_graph(device, "g", graph)
+        gf.delete()
+        assert not device.exists("g.deg")
+        assert not device.exists("g.adj")
+        assert not device.exists("g.meta")
+
+
+class TestEmptyGraph:
+    def test_empty_graph_roundtrip(self, device):
+        g = CSRGraph.empty(4)
+        gf = write_graph(device, "empty", g)
+        assert gf.num_edges == 0
+        assert gf.to_csr() == g
+        gf.validate()
+
+    def test_single_edge_graph(self, device):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1)]))
+        gf = write_graph(device, "one", g)
+        assert gf.to_csr() == g

@@ -1,0 +1,154 @@
+"""Unit tests for repro.graph.csr.CSRGraph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import complete_graph, ring_graph
+
+
+class TestConstruction:
+    def test_from_edgelist_undirected(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1), (1, 2)]))
+        assert g.num_vertices == 3
+        assert g.num_edges == 4  # bidirectional storage
+        assert g.num_undirected_edges == 2
+        assert not g.directed
+
+    def test_from_edgelist_directed(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1), (1, 2)]), directed=True)
+        assert g.directed
+        assert g.num_edges == 2
+
+    def test_from_arrays_roundtrip(self):
+        degrees = np.array([2, 1, 1], dtype=np.int64)
+        adjacency = np.array([1, 2, 0, 0], dtype=np.int64)
+        g = CSRGraph.from_arrays(degrees, adjacency)
+        assert g.degree(0) == 2
+        assert list(g.neighbors(0)) == [1, 2]
+
+    def test_from_arrays_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph.from_arrays(np.array([2, 1]), np.array([1, 0]))
+
+    def test_empty(self):
+        g = CSRGraph.empty(4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_indptr_indices_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 3]), np.array([0, 1]))
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+
+class TestAccessors:
+    def test_degrees_and_max_degree(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1), (0, 2), (0, 3)]))
+        assert g.degree(0) == 3
+        assert g.max_degree == 3
+        assert list(g.degrees) == [3, 1, 1, 1]
+
+    def test_neighbors_sorted(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 3), (0, 1), (0, 2)]))
+        assert list(g.neighbors(0)) == [1, 2, 3]
+
+    def test_has_edge(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1), (1, 2)]))
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_iter_edges_matches_edge_array(self):
+        g = CSRGraph.from_edgelist(complete_graph(4))
+        from_iter = list(g.iter_edges())
+        from_array = list(map(tuple, g.edge_array().tolist()))
+        assert from_iter == from_array
+        assert len(from_iter) == 12
+
+    def test_edge_sources_length(self):
+        g = CSRGraph.from_edgelist(ring_graph(5))
+        assert g.edge_sources().shape[0] == g.num_edges
+
+    def test_memory_bytes_positive(self):
+        g = CSRGraph.from_edgelist(complete_graph(5))
+        assert g.memory_bytes() >= g.indices.nbytes
+
+    def test_repr_mentions_direction(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1)]), directed=True)
+        assert "directed" in repr(g)
+
+
+class TestInvariants:
+    def test_check_sorted_adjacency_passes_for_sorted(self):
+        g = CSRGraph.from_edgelist(complete_graph(5))
+        g.check_sorted_adjacency()  # must not raise
+
+    def test_check_sorted_adjacency_detects_unsorted(self):
+        indptr = np.array([0, 2, 2], dtype=np.int64)
+        indices = np.array([1, 0], dtype=np.int64)  # [1, 0] unsorted
+        g = CSRGraph(indptr, indices)
+        with pytest.raises(GraphFormatError):
+            g.check_sorted_adjacency()
+
+    def test_check_sorted_allows_decrease_at_list_boundary(self):
+        # vertex 0 -> [5], vertex 1 -> [0]: boundary decrease is legal
+        indptr = np.array([0, 1, 2, 2, 2, 2, 2], dtype=np.int64)
+        indices = np.array([5, 0], dtype=np.int64)
+        CSRGraph(indptr, indices).check_sorted_adjacency()
+
+    def test_check_simple_detects_self_loop(self):
+        g = CSRGraph(np.array([0, 1]), np.array([0]))
+        with pytest.raises(GraphFormatError):
+            g.check_simple()
+
+    def test_check_simple_detects_duplicate(self):
+        g = CSRGraph(np.array([0, 2, 2]), np.array([1, 1]))
+        with pytest.raises(GraphFormatError):
+            g.check_simple()
+
+    def test_undirected_consistency(self):
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1), (1, 2)]))
+        assert g.is_undirected_consistent()
+        directed = CSRGraph.from_edgelist(EdgeList([(0, 1)]), directed=True)
+        assert not directed.is_undirected_consistent()
+
+
+class TestConversions:
+    def test_to_edgelist_roundtrip(self):
+        original = EdgeList([(0, 1), (1, 2), (2, 3)])
+        g = CSRGraph.from_edgelist(original)
+        back = g.to_edgelist().canonical_undirected()
+        assert list(back) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_to_networkx_counts(self):
+        import networkx as nx
+
+        g = CSRGraph.from_edgelist(complete_graph(4))
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 6
+        assert isinstance(nxg, nx.Graph)
+
+    def test_equality(self):
+        a = CSRGraph.from_edgelist(complete_graph(4))
+        b = CSRGraph.from_edgelist(complete_graph(4))
+        c = CSRGraph.from_edgelist(complete_graph(5))
+        assert a == b
+        assert a != c

@@ -1,0 +1,92 @@
+"""Unit tests for the analogue dataset registry (Table I stand-ins)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.inmemory import forward_count
+from repro.graph.datasets import (
+    ANALOGUE_OF,
+    DATASETS,
+    PAPER_TABLE1,
+    dataset_names,
+    load_dataset,
+)
+from repro.graph.properties import graph_stats
+
+
+class TestRegistry:
+    def test_all_expected_datasets_present(self):
+        names = dataset_names()
+        for expected in ("livejournal", "orkut", "twitter", "yahoo"):
+            assert expected in names
+        assert any(n.startswith("rmat-") for n in names)
+
+    def test_every_dataset_maps_to_a_paper_row(self):
+        for name in dataset_names():
+            paper_key = ANALOGUE_OF[name]
+            assert paper_key in PAPER_TABLE1
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("no-such-graph")
+
+    def test_specs_have_descriptions(self):
+        for spec in DATASETS.values():
+            assert spec.description
+            assert spec.paper_name
+
+
+class TestDatasetConstruction:
+    @pytest.mark.parametrize("name", ["livejournal", "orkut", "rmat-10"])
+    def test_build_produces_valid_graph(self, name):
+        g = load_dataset(name, seed=0, scale=0.25)
+        g.check_sorted_adjacency()
+        g.check_simple()
+        assert g.num_vertices > 0
+        assert g.num_undirected_edges > 0
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("rmat-10", seed=5)
+        b = load_dataset("rmat-10", seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("rmat-10", seed=1)
+        b = load_dataset("rmat-10", seed=2)
+        assert a != b
+
+    def test_datasets_contain_triangles(self):
+        g = load_dataset("rmat-10", seed=0)
+        assert forward_count(g) > 0
+
+
+class TestStructuralAnalogy:
+    """The analogues must preserve the *relative* structure of Table I."""
+
+    def test_yahoo_is_sparser_than_twitter(self):
+        yahoo = graph_stats(load_dataset("yahoo", seed=0), "yahoo")
+        twitter = graph_stats(load_dataset("twitter", seed=0), "twitter")
+        assert yahoo.avg_degree < twitter.avg_degree
+
+    def test_yahoo_has_more_vertices_than_twitter(self):
+        yahoo = load_dataset("yahoo", seed=0)
+        twitter = load_dataset("twitter", seed=0)
+        assert yahoo.num_vertices > twitter.num_vertices
+
+    def test_orkut_is_denser_than_livejournal(self):
+        orkut = graph_stats(load_dataset("orkut", seed=0), "orkut")
+        lj = graph_stats(load_dataset("livejournal", seed=0), "livejournal")
+        assert orkut.avg_degree > lj.avg_degree
+
+    def test_rmat_sizes_increase_with_scale(self):
+        sizes = [
+            load_dataset(name, seed=0).num_undirected_edges
+            for name in ("rmat-10", "rmat-11", "rmat-12")
+        ]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_hubs_exist_in_skewed_graphs(self):
+        for name in ("twitter", "yahoo"):
+            g = load_dataset(name, seed=0)
+            assert g.max_degree > 10 * g.degrees.mean()

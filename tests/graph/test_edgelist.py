@@ -1,0 +1,148 @@
+"""Unit tests for repro.graph.edgelist.EdgeList."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        el = EdgeList([(0, 1), (1, 2)])
+        assert el.num_edges == 2
+        assert el.num_vertices == 3
+
+    def test_from_numpy_array(self):
+        arr = np.array([[0, 3], [2, 1]], dtype=np.int64)
+        el = EdgeList(arr)
+        assert el.num_edges == 2
+        assert el.num_vertices == 4
+
+    def test_empty(self):
+        el = EdgeList.empty(7)
+        assert el.num_edges == 0
+        assert el.num_vertices == 7
+
+    def test_explicit_num_vertices(self):
+        el = EdgeList([(0, 1)], num_vertices=10)
+        assert el.num_vertices == 10
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList([(0, 5)], num_vertices=3)
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList([(0, -1)])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(np.zeros((3, 3), dtype=np.int64))
+
+    def test_iteration_yields_python_ints(self):
+        el = EdgeList([(0, 1), (2, 3)])
+        pairs = list(el)
+        assert pairs == [(0, 1), (2, 3)]
+        assert all(isinstance(x, int) for pair in pairs for x in pair)
+
+    def test_equality(self):
+        a = EdgeList([(0, 1), (1, 2)])
+        b = EdgeList([(0, 1), (1, 2)])
+        c = EdgeList([(0, 1)])
+        assert a == b
+        assert a != c
+
+
+class TestNormalisation:
+    def test_without_self_loops(self):
+        el = EdgeList([(0, 0), (0, 1), (2, 2)])
+        clean = el.without_self_loops()
+        assert clean.num_edges == 1
+        assert not clean.has_self_loops()
+
+    def test_deduplicated(self):
+        el = EdgeList([(0, 1), (0, 1), (1, 2)])
+        assert el.deduplicated().num_edges == 2
+
+    def test_symmetrized_adds_reverse_edges(self):
+        el = EdgeList([(0, 1), (1, 2)])
+        sym = el.symmetrized()
+        assert sym.num_edges == 4
+        assert sym.is_symmetric()
+        assert sym.is_sorted()
+
+    def test_symmetrized_removes_loops_and_duplicates(self):
+        el = EdgeList([(0, 1), (1, 0), (0, 0), (0, 1)])
+        sym = el.symmetrized()
+        assert sym.num_edges == 2
+        assert not sym.has_self_loops()
+
+    def test_canonical_undirected(self):
+        el = EdgeList([(1, 0), (0, 1), (2, 1), (1, 1)])
+        canon = el.canonical_undirected()
+        assert list(canon) == [(0, 1), (1, 2)]
+
+    def test_sorted_and_is_sorted(self):
+        el = EdgeList([(2, 0), (0, 5), (0, 1)])
+        assert not el.is_sorted()
+        assert el.sorted().is_sorted()
+
+    def test_is_sorted_with_single_edge(self):
+        assert EdgeList([(3, 1)]).is_sorted()
+
+    def test_is_symmetric_false_for_one_way_edge(self):
+        assert not EdgeList([(0, 1)]).is_symmetric()
+
+    def test_empty_operations(self):
+        el = EdgeList.empty(4)
+        assert el.symmetrized().num_edges == 0
+        assert el.canonical_undirected().num_edges == 0
+        assert el.is_sorted()
+        assert el.is_symmetric()
+
+
+class TestTransformations:
+    def test_relabeled_preserves_edge_count(self):
+        el = EdgeList([(0, 1), (1, 2), (2, 3)])
+        perm = [3, 2, 1, 0]
+        out = el.relabeled(perm)
+        assert out.num_edges == el.num_edges
+        # undirected view is preserved: {0,1},{1,2},{2,3} map to {3,2},{2,1},{1,0}
+        assert sorted(map(tuple, out.canonical_undirected().edges.tolist())) == [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+        ]
+
+    def test_relabeled_rejects_non_bijection(self):
+        el = EdgeList([(0, 1)], num_vertices=3)
+        with pytest.raises(GraphFormatError):
+            el.relabeled([0, 0, 1])
+
+    def test_relabeled_rejects_wrong_length(self):
+        el = EdgeList([(0, 1)], num_vertices=3)
+        with pytest.raises(GraphFormatError):
+            el.relabeled([0, 1])
+
+    def test_shuffled_is_permutation_of_rows(self):
+        el = EdgeList([(0, 1), (1, 2), (2, 3), (3, 4)])
+        shuffled = el.shuffled(seed=5)
+        assert sorted(map(tuple, shuffled.edges.tolist())) == sorted(
+            map(tuple, el.edges.tolist())
+        )
+
+    def test_subsampled_fraction_bounds(self):
+        el = EdgeList([(0, 1), (1, 2), (2, 3)])
+        assert el.subsampled(0.0).num_edges == 0
+        assert el.subsampled(1.0).num_edges == 3
+        with pytest.raises(ValueError):
+            el.subsampled(1.5)
+
+    def test_copy_is_independent(self):
+        el = EdgeList([(0, 1)])
+        cp = el.copy()
+        cp.edges[0, 0] = 5
+        assert el.edges[0, 0] == 0

@@ -1,0 +1,217 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    erdos_renyi,
+    planar_grid,
+    power_law_degree_graph,
+    ring_graph,
+    rmat,
+    watts_strogatz,
+)
+
+
+def as_csr(edgelist):
+    return CSRGraph.from_edgelist(edgelist)
+
+
+class TestRMAT:
+    def test_vertex_count(self):
+        el = rmat(6, edge_factor=4, seed=0)
+        assert el.num_vertices == 64
+
+    def test_edge_count_close_to_target(self):
+        el = rmat(8, edge_factor=8, seed=1)
+        target = 8 * 256
+        # dedup/self-loop removal loses some edges but not most of them
+        assert 0.5 * target < el.num_edges <= target
+
+    def test_deterministic_given_seed(self):
+        a = rmat(6, edge_factor=4, seed=42)
+        b = rmat(6, edge_factor=4, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = rmat(7, edge_factor=8, seed=1)
+        b = rmat(7, edge_factor=8, seed=2)
+        assert a != b
+
+    def test_simple_and_canonical(self):
+        el = rmat(6, edge_factor=8, seed=3)
+        assert not el.has_self_loops()
+        assert el.is_sorted()
+        assert el == el.deduplicated()
+
+    def test_skewed_degree_distribution(self):
+        g = as_csr(rmat(9, edge_factor=8, seed=5))
+        degrees = g.degrees
+        # scale-free-ish: the max degree should far exceed the average
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_scale_zero(self):
+        assert rmat(0, edge_factor=4).num_edges == 0
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, a=0.9, b=0.9, c=0.9)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(-1)
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        el = erdos_renyi(50, m=100, seed=0)
+        assert el.num_edges == 100
+
+    def test_gnm_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, m=100)
+
+    def test_gnp_zero_probability(self):
+        assert erdos_renyi(20, p=0.0).num_edges == 0
+
+    def test_gnp_full_probability(self):
+        el = erdos_renyi(10, p=1.0, seed=0)
+        assert el.num_edges == 45
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, p=0.5, m=5)
+
+    def test_gnp_simple(self):
+        el = erdos_renyi(40, p=0.2, seed=3)
+        assert not el.has_self_loops()
+        assert el == el.deduplicated()
+
+
+class TestClassicGraphs:
+    def test_complete_graph_edge_count(self):
+        assert complete_graph(6).num_edges == 15
+        assert complete_graph(2).num_edges == 1
+        assert complete_graph(1).num_edges == 0
+        assert complete_graph(0).num_edges == 0
+
+    def test_complete_graph_negative_rejected(self):
+        with pytest.raises(ValueError):
+            complete_graph(-1)
+
+    def test_ring_graph(self):
+        assert ring_graph(5).num_edges == 5
+        assert ring_graph(2).num_edges == 1
+        assert ring_graph(1).num_edges == 0
+
+    def test_ring_is_triangle_free_for_large_n(self):
+        from repro.baselines.inmemory import forward_count
+
+        assert forward_count(as_csr(ring_graph(10))) == 0
+        assert forward_count(as_csr(ring_graph(3))) == 1
+
+    def test_planar_grid_edge_count(self):
+        # rows*(cols-1) horizontal + (rows-1)*cols vertical
+        el = planar_grid(3, 4)
+        assert el.num_edges == 3 * 3 + 2 * 4
+
+    def test_planar_grid_diagonals_add_triangles(self):
+        from repro.baselines.inmemory import forward_count
+
+        plain = forward_count(as_csr(planar_grid(4, 4)))
+        with_diag = forward_count(as_csr(planar_grid(4, 4, diagonals=True)))
+        assert plain == 0
+        assert with_diag == 2 * 3 * 3  # two triangles per cell
+
+    def test_planar_grid_empty(self):
+        assert planar_grid(0, 5).num_edges == 0
+
+
+class TestWattsStrogatz:
+    def test_edge_count_without_rewiring(self):
+        el = watts_strogatz(30, k=4, p=0.0, seed=0)
+        assert el.num_edges == 60
+
+    def test_high_clustering(self):
+        from repro.baselines.inmemory import forward_count
+
+        g = as_csr(watts_strogatz(100, k=6, p=0.0, seed=0))
+        assert forward_count(g) > 0
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, k=3)
+
+    def test_k_at_least_n_gives_complete(self):
+        el = watts_strogatz(5, k=6, p=0.1)
+        assert el.num_edges == 10
+
+
+class TestBarabasiAlbert:
+    def test_vertex_count_and_growth(self):
+        el = barabasi_albert(100, attach=3, seed=0)
+        assert el.num_vertices == 100
+        # each new vertex adds `attach` edges (post-core), some dedup possible
+        assert el.num_edges >= 3 * 90
+
+    def test_small_n_falls_back_to_complete(self):
+        el = barabasi_albert(3, attach=4)
+        assert el.num_edges == 3
+
+    def test_invalid_attach(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, attach=0)
+
+    def test_hub_formation(self):
+        g = as_csr(barabasi_albert(300, attach=2, seed=1))
+        assert g.max_degree > 3 * g.degrees.mean()
+
+
+class TestPowerLaw:
+    def test_vertex_count(self):
+        el = power_law_degree_graph(200, seed=0)
+        assert el.num_vertices == 200
+
+    def test_extreme_hubs_exist(self):
+        g = as_csr(power_law_degree_graph(2000, exponent=2.0, min_degree=2, seed=1))
+        assert g.max_degree > 10 * max(g.degrees.mean(), 1)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_degree_graph(100, exponent=1.0)
+
+    def test_tiny_graph(self):
+        assert power_law_degree_graph(1).num_edges == 0
+
+    def test_deterministic(self):
+        a = power_law_degree_graph(300, seed=9)
+        b = power_law_degree_graph(300, seed=9)
+        assert a == b
+
+
+class TestGeneratorOutputsAreValidCSRInputs:
+    @pytest.mark.parametrize(
+        "edgelist",
+        [
+            rmat(6, edge_factor=6, seed=0),
+            erdos_renyi(50, p=0.1, seed=0),
+            barabasi_albert(60, attach=3, seed=0),
+            watts_strogatz(60, k=4, p=0.2, seed=0),
+            complete_graph(8),
+            planar_grid(5, 5, diagonals=True),
+            power_law_degree_graph(80, seed=0),
+        ],
+        ids=["rmat", "er", "ba", "ws", "complete", "grid", "powerlaw"],
+    )
+    def test_csr_invariants_hold(self, edgelist):
+        g = CSRGraph.from_edgelist(edgelist)
+        g.check_sorted_adjacency()
+        g.check_simple()
+        assert g.is_undirected_consistent()

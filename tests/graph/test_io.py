@@ -1,0 +1,90 @@
+"""Unit tests for text/binary edge-list interchange I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import rmat
+from repro.graph.io import (
+    read_edgelist_binary,
+    read_edgelist_text,
+    write_edgelist_binary,
+    write_edgelist_text,
+)
+
+
+class TestTextRoundTrip:
+    def test_roundtrip_with_header(self, tmp_path):
+        el = EdgeList([(0, 1), (2, 3)], num_vertices=10)
+        path = write_edgelist_text(el, tmp_path / "g.txt")
+        back = read_edgelist_text(path)
+        assert back == el
+        assert back.num_vertices == 10  # preserved via the header
+
+    def test_roundtrip_without_header(self, tmp_path):
+        el = EdgeList([(0, 1), (2, 3)])
+        path = write_edgelist_text(el, tmp_path / "g.txt", header=False)
+        back = read_edgelist_text(path)
+        assert list(back) == list(el)
+        assert back.num_vertices == 4  # inferred
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n# another\n1 2\n")
+        el = read_edgelist_text(path)
+        assert list(el) == [(0, 1), (1, 2)]
+
+    def test_explicit_num_vertices_argument(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert read_edgelist_text(path, num_vertices=9).num_vertices == 9
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist_text(path)
+
+    def test_non_integer_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edgelist_text(path)
+
+    def test_tab_and_space_separated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n2   3\n")
+        assert list(read_edgelist_text(path)) == [(0, 1), (2, 3)]
+
+
+class TestBinaryRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        el = rmat(6, edge_factor=4, seed=0)
+        path = write_edgelist_binary(el, tmp_path / "g.bin")
+        back = read_edgelist_binary(path)
+        assert back == el
+
+    def test_empty_edgelist(self, tmp_path):
+        el = EdgeList.empty(5)
+        path = write_edgelist_binary(el, tmp_path / "empty.bin")
+        back = read_edgelist_binary(path)
+        assert back.num_edges == 0
+        assert back.num_vertices == 5
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        path.write_bytes(b"\x00" * 8)
+        with pytest.raises(GraphFormatError):
+            read_edgelist_binary(path)
+
+    def test_inconsistent_length_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.bin"
+        # header claims 3 edges but provides 1
+        data = np.array([4, 3, 0, 1], dtype=np.int64)
+        path.write_bytes(data.tobytes())
+        with pytest.raises(GraphFormatError):
+            read_edgelist_binary(path)

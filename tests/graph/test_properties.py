@@ -1,0 +1,154 @@
+"""Unit tests for graph statistics and the Theorem III.4 bounds."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.inmemory import forward_count, per_vertex_triangle_counts
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, planar_grid, rmat, watts_strogatz
+from repro.graph.properties import (
+    arboricity_upper_bound,
+    clustering_coefficient,
+    degree_histogram,
+    graph_stats,
+    min_degree_edge_sum,
+    transitivity,
+    triangle_count_upper_bound,
+)
+
+
+class TestGraphStats:
+    def test_complete_graph_stats(self):
+        g = CSRGraph.from_edgelist(complete_graph(6))
+        stats = graph_stats(g, "K6", num_triangles=20)
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 15
+        assert stats.num_triangles == 20
+        assert stats.avg_degree == pytest.approx(5.0)
+        assert stats.degree_std == pytest.approx(0.0)
+        assert stats.max_degree == 5
+
+    def test_stats_row_keys_match_table1(self):
+        g = CSRGraph.from_edgelist(complete_graph(4))
+        row = graph_stats(g, "K4").as_row()
+        assert set(row.keys()) == {
+            "Graph",
+            "Nodes",
+            "Edges",
+            "Triangles",
+            "Size",
+            "AvDeg",
+            "STD",
+            "MaxDeg",
+        }
+
+    def test_rejects_directed_graph(self):
+        from repro.core.orientation import orient_csr
+
+        g = orient_csr(CSRGraph.from_edgelist(complete_graph(4)))
+        with pytest.raises(ValueError):
+            graph_stats(g)
+
+    def test_size_bytes_matches_binary_format(self):
+        g = CSRGraph.from_edgelist(complete_graph(5))
+        stats = graph_stats(g, "K5")
+        assert stats.size_bytes == g.indptr.nbytes + g.indices.nbytes
+
+
+class TestArboricityBounds:
+    def test_sqrt_bound(self):
+        g = CSRGraph.from_edgelist(complete_graph(10))
+        assert arboricity_upper_bound(g) == math.ceil(math.sqrt(45))
+
+    def test_empty_graph(self):
+        assert arboricity_upper_bound(CSRGraph.empty(5)) == 0
+
+    def test_min_degree_sum_complete_graph(self):
+        # K_n: every edge has min degree n-1, so sum = (n-1) * n(n-1)/2
+        g = CSRGraph.from_edgelist(complete_graph(6))
+        assert min_degree_edge_sum(g) == 5 * 15
+
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            CSRGraph.from_edgelist(complete_graph(8)),
+            CSRGraph.from_edgelist(rmat(7, edge_factor=8, seed=0)),
+            CSRGraph.from_edgelist(watts_strogatz(80, k=6, p=0.1, seed=0)),
+            CSRGraph.from_edgelist(planar_grid(6, 6, diagonals=True)),
+        ],
+        ids=["complete", "rmat", "ws", "grid"],
+    )
+    def test_triangle_bound_holds(self, graph):
+        # T <= (1/3) sum min(d(u), d(v))   (paper, after Theorem III.4)
+        triangles = forward_count(graph)
+        assert triangles <= triangle_count_upper_bound(graph) + 1e-9
+
+    def test_planar_grid_has_low_bound_relative_to_complete(self):
+        grid = CSRGraph.from_edgelist(planar_grid(10, 10, diagonals=True))
+        complete = CSRGraph.from_edgelist(complete_graph(18))
+        # similar edge counts, but the planar graph's min-degree sum per edge
+        # is far smaller (constant arboricity vs Θ(n))
+        grid_ratio = min_degree_edge_sum(grid) / grid.num_undirected_edges
+        complete_ratio = min_degree_edge_sum(complete) / complete.num_undirected_edges
+        assert grid_ratio < complete_ratio / 2
+
+
+class TestDegreeHistogram:
+    def test_complete_graph(self):
+        g = CSRGraph.from_edgelist(complete_graph(5))
+        hist = degree_histogram(g)
+        assert hist[4] == 5
+        assert hist[:4].sum() == 0
+
+    def test_empty_graph(self):
+        assert degree_histogram(CSRGraph.empty(0)).tolist() == [0]
+
+    def test_total_matches_vertex_count(self):
+        g = CSRGraph.from_edgelist(rmat(6, edge_factor=4, seed=2))
+        assert degree_histogram(g).sum() == g.num_vertices
+
+
+class TestClusteringAndTransitivity:
+    def test_complete_graph_coefficients_are_one(self):
+        g = CSRGraph.from_edgelist(complete_graph(6))
+        tri = per_vertex_triangle_counts(g)
+        coeff = clustering_coefficient(g, tri)
+        np.testing.assert_allclose(coeff, np.ones(6))
+
+    def test_triangle_free_graph_coefficients_are_zero(self):
+        from repro.graph.generators import ring_graph
+
+        g = CSRGraph.from_edgelist(ring_graph(8))
+        coeff = clustering_coefficient(g, np.zeros(8))
+        np.testing.assert_allclose(coeff, np.zeros(8))
+
+    def test_low_degree_vertices_are_zero(self):
+        from repro.graph.edgelist import EdgeList
+
+        g = CSRGraph.from_edgelist(EdgeList([(0, 1)]))
+        coeff = clustering_coefficient(g, np.zeros(2))
+        assert coeff.tolist() == [0.0, 0.0]
+
+    def test_wrong_length_rejected(self):
+        g = CSRGraph.from_edgelist(complete_graph(4))
+        with pytest.raises(ValueError):
+            clustering_coefficient(g, np.zeros(3))
+
+    def test_transitivity_complete_graph(self):
+        g = CSRGraph.from_edgelist(complete_graph(5))
+        assert transitivity(g, forward_count(g)) == pytest.approx(1.0)
+
+    def test_transitivity_matches_networkx(self):
+        import networkx as nx
+
+        g = CSRGraph.from_edgelist(watts_strogatz(60, k=6, p=0.2, seed=4))
+        nxg = g.to_networkx()
+        expected = nx.transitivity(nxg)
+        assert transitivity(g, forward_count(g)) == pytest.approx(expected, rel=1e-9)
+
+    def test_transitivity_empty(self):
+        assert transitivity(CSRGraph.empty(3), 0) == 0.0

@@ -1,0 +1,80 @@
+"""Property-based tests for edge-range splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.load_balance import (
+    balanced_split,
+    naive_split,
+    ranges_cover_exactly,
+)
+from repro.utils import chunk_ranges, even_splits
+
+
+@given(
+    num_edges=st.integers(min_value=0, max_value=5000),
+    nodes=st.integers(min_value=1, max_value=5),
+    procs=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_naive_split_partitions_edge_positions(num_edges, nodes, procs):
+    ranges = naive_split(num_edges, nodes, procs)
+    assert len(ranges) == nodes * procs
+    assert ranges_cover_exactly(ranges, num_edges)
+    sizes = [r.num_edges for r in ranges]
+    assert max(sizes) - min(sizes) <= 1
+    # every (node, proc) pair appears exactly once
+    assert len({(r.node_index, r.proc_index) for r in ranges}) == nodes * procs
+
+
+@given(
+    out_degrees=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200),
+    in_degree_scale=st.integers(min_value=0, max_value=50),
+    nodes=st.integers(min_value=1, max_value=4),
+    procs=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_balanced_split_partitions_edge_positions(
+    out_degrees, in_degree_scale, nodes, procs, seed
+):
+    out_degrees = np.array(out_degrees, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    in_degrees = rng.integers(0, in_degree_scale + 1, size=out_degrees.shape[0])
+    ranges = balanced_split(out_degrees, in_degrees, nodes, procs)
+    assert len(ranges) == nodes * procs
+    assert ranges_cover_exactly(ranges, int(out_degrees.sum()))
+
+
+@given(
+    total=st.integers(min_value=0, max_value=10_000),
+    chunks=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=80, deadline=None)
+def test_chunk_ranges_cover_and_balance(total, chunks):
+    ranges = chunk_ranges(total, chunks)
+    assert len(ranges) == chunks
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == total
+    sizes = [b - a for a, b in ranges]
+    assert sum(sizes) == total
+    assert max(sizes) - min(sizes) <= 1
+    for (a1, b1), (a2, b2) in zip(ranges[:-1], ranges[1:]):
+        assert b1 == a2
+
+
+@given(
+    weights=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=300),
+    parts=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=80, deadline=None)
+def test_even_splits_cover_contiguously(weights, parts):
+    ranges = even_splits(np.array(weights), parts)
+    assert len(ranges) == parts
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == len(weights)
+    for (a1, b1), (a2, b2) in zip(ranges[:-1], ranges[1:]):
+        assert b1 == a2
+        assert a1 <= b1

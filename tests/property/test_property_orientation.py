@@ -1,0 +1,98 @@
+"""Property-based tests for the degree-based order and orientation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.orientation import degree_order_keys, orient_csr, precedes
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw, max_vertices: int = 30):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    max_possible = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(100, max_possible)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    if m == 0:
+        return CSRGraph.empty(n)
+    rng = np.random.default_rng(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    chosen = rng.choice(iu.shape[0], size=min(m, iu.shape[0]), replace=False)
+    return CSRGraph.from_edgelist(EdgeList(np.stack([iu[chosen], iv[chosen]], axis=1), n))
+
+
+@given(degrees=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+@settings(**SETTINGS)
+def test_degree_order_is_strict_total_order(degrees):
+    degrees = np.array(degrees, dtype=np.int64)
+    n = degrees.shape[0]
+    keys = degree_order_keys(degrees)
+    # antisymmetry + totality: exactly one of u≺v, v≺u for u != v
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                assert not precedes(u, v, degrees)
+            else:
+                assert precedes(u, v, degrees) != precedes(v, u, degrees)
+                assert (keys[u] < keys[v]) == precedes(u, v, degrees)
+
+
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_orientation_keeps_each_edge_once(graph):
+    oriented = orient_csr(graph)
+    assert oriented.num_edges == graph.num_undirected_edges
+    undirected = {frozenset(e) for e in graph.iter_edges()}
+    oriented_edges = list(oriented.iter_edges())
+    assert {frozenset(e) for e in oriented_edges} == undirected
+    # no edge stored in both directions
+    as_tuples = set(oriented_edges)
+    assert all((v, u) not in as_tuples for u, v in as_tuples)
+
+
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_orientation_respects_degree_order(graph):
+    oriented = orient_csr(graph)
+    degrees = graph.degrees
+    for u, v in oriented.iter_edges():
+        assert precedes(u, v, degrees)
+
+
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_orientation_is_acyclic(graph):
+    """≺ is a strict total order, so the orientation can have no directed cycle."""
+    oriented = orient_csr(graph)
+    keys = degree_order_keys(graph.degrees)
+    # topological consistency: every edge strictly increases the key
+    for u, v in oriented.iter_edges():
+        assert keys[u] < keys[v]
+
+
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_out_plus_in_degrees_equal_undirected_degrees(graph):
+    oriented = orient_csr(graph)
+    out_deg = oriented.degrees
+    in_deg = np.zeros(graph.num_vertices, dtype=np.int64)
+    if oriented.num_edges:
+        np.add.at(in_deg, oriented.indices, 1)
+    np.testing.assert_array_equal(out_deg + in_deg, graph.degrees)
+
+
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_oriented_adjacency_stays_sorted_and_simple(graph):
+    oriented = orient_csr(graph)
+    oriented.check_sorted_adjacency()
+    oriented.check_simple()

@@ -8,11 +8,20 @@ terminals and text files, not notebooks.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.utils import format_seconds
 
-__all__ = ["format_table", "format_seconds_cell", "speedup_table", "paper_vs_measured"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis ← cluster)
+    from repro.cluster.metrics import ClusterMetrics
+
+__all__ = [
+    "format_table",
+    "format_seconds_cell",
+    "speedup_table",
+    "paper_vs_measured",
+    "load_imbalance_table",
+]
 
 
 def format_seconds_cell(value: float | None) -> str:
@@ -87,3 +96,39 @@ def paper_vs_measured(
     ``measured`` keys; extra keys are kept as additional columns.
     """
     return format_table(rows, title=title)
+
+
+def load_imbalance_table(metrics: "ClusterMetrics", title: str | None = None) -> str:
+    """Per-node chunk-scheduling breakdown plus the cluster imbalance row.
+
+    One row per node with its worker count, pulled/stolen/re-executed chunk
+    counters (all zero for static runs) and elapsed calculation time, then a
+    cluster summary row carrying the max/mean per-processor calc-time
+    imbalance -- the Figure 9 quantity the dynamic scheduler equalises.
+    """
+    rows: list[dict[str, object]] = []
+    for node in metrics.nodes:
+        rows.append(
+            {
+                "node": node.node_index,
+                "workers": node.workers,
+                "chunks": node.chunks_completed,
+                "stolen": node.chunks_stolen,
+                "retried": node.chunks_retried,
+                "calc": format_seconds_cell(node.calc_seconds),
+            }
+        )
+    rows.append(
+        {
+            "node": "cluster",
+            "workers": sum(n.workers for n in metrics.nodes),
+            "chunks": metrics.total_chunks_completed,
+            "stolen": metrics.total_chunks_stolen,
+            "retried": metrics.total_chunks_retried,
+            "calc": f"imbalance {metrics.worker_imbalance():.2f}x",
+        }
+    )
+    return format_table(
+        rows, columns=["node", "workers", "chunks", "stolen", "retried", "calc"],
+        title=title,
+    )

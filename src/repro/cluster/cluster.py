@@ -135,6 +135,19 @@ class Cluster:
         self.metrics.node(0).bytes_sent += nbytes
         return seconds
 
+    def send_chunk_grant(self, node: int, nbytes: int = 24) -> float:
+        """Charge one master→worker chunk hand-out of the dynamic scheduler.
+
+        Pull-based scheduling trades a little extra coordination traffic
+        (one tiny descriptor per chunk instead of one range per processor)
+        for balance and fault tolerance; charging each grant makes that
+        trade visible in the network metrics.
+        """
+        seconds = self.network.transfer(0, node, nbytes, label="chunk-grant")
+        self.metrics.node(node).bytes_received += nbytes
+        self.metrics.node(0).bytes_sent += nbytes
+        return seconds
+
     def send_result(self, node: int, nbytes: int) -> float:
         """Charge a client→master result message (count or triangle list)."""
         seconds = self.network.transfer(node, 0, nbytes, label="result")

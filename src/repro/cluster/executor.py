@@ -1,35 +1,45 @@
 """Execution backends for the per-core MGT jobs.
 
-A PDTL run launches one MGT job per (node, core) pair.  How those jobs are
-actually executed on the reproduction host is orthogonal to the simulation
-(the modelled CPU/I/O/network times are identical either way), so the
-backend is pluggable:
+A PDTL run launches MGT work on the reproduction host; how that work is
+actually executed is orthogonal to the simulation (the modelled
+CPU/I/O/network times are identical either way), so the backend is
+pluggable:
 
 * ``serial``   -- run jobs one after another in the calling process; fully
   deterministic, used by the test suite;
-* ``threads``  -- a :class:`concurrent.futures.ThreadPoolExecutor`; numpy
+* ``threads``  -- worker threads pulling from a shared queue; numpy
   releases the GIL for the bulk array work, so this gives real concurrency
   for the I/O- and numpy-heavy parts while keeping shared-memory access to
   the block devices simple;
 * ``processes`` -- a :class:`concurrent.futures.ProcessPoolExecutor` for
-  true CPU parallelism; job callables and results must be picklable.
+  true CPU parallelism; job callables and results must be picklable (the
+  dynamic scheduler's :class:`~repro.core.scheduler.ChunkTask` path is).
 
-This mirrors the structure of an MPI deployment (one rank per core, results
-gathered at the master) without requiring an MPI runtime, following the
-message-passing idioms of the mpi4py tutorial: workers receive a small
-configuration message, do local work against local storage, and send back
-a small result.
+Two entry points are exposed.  :func:`run_jobs` is the classic fixed-
+assignment API (one job per processor, results in submission order).
+:func:`run_task_queue` is the pull-based variant the dynamic chunk
+scheduler uses: a bounded crew of workers loops over a shared queue of
+small tasks, so a slow task only delays the worker holding it -- the
+structured-concurrency shape of pygolang's ``sync.WorkGroup``, without the
+extra dependency.  Both cap their default parallelism at the host's CPU
+count: spawning one OS thread or process per job melts down once jobs
+number in the hundreds (the dynamic scheduler routinely queues hundreds of
+chunks).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import os
+import queue
+import threading
 from enum import Enum
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["ExecutionBackend", "run_jobs"]
+__all__ = ["ExecutionBackend", "run_jobs", "run_task_queue"]
 
 T = TypeVar("T")
+U = TypeVar("U")
 
 
 class ExecutionBackend(str, Enum):
@@ -38,6 +48,12 @@ class ExecutionBackend(str, Enum):
     SERIAL = "serial"
     THREADS = "threads"
     PROCESSES = "processes"
+
+
+def _effective_workers(max_workers: int | None, num_jobs: int) -> int:
+    """Bound the worker crew: the caller's cap if given, else the CPU count."""
+    cap = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    return max(1, min(cap, num_jobs))
 
 
 def run_jobs(
@@ -49,23 +65,90 @@ def run_jobs(
 
     The result order always matches the job order regardless of completion
     order, so callers can zip results back onto their (node, core)
-    assignments.
+    assignments.  When ``max_workers`` is omitted the crew is capped at
+    ``os.cpu_count()`` -- never one worker per job.
     """
     backend = ExecutionBackend(backend)
     if not jobs:
         return []
     if backend is ExecutionBackend.SERIAL or len(jobs) == 1:
         return [job() for job in jobs]
+    workers = _effective_workers(max_workers, len(jobs))
     if backend is ExecutionBackend.THREADS:
-        with concurrent.futures.ThreadPoolExecutor(
-            max_workers=max_workers or len(jobs)
-        ) as pool:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(job) for job in jobs]
             return [f.result() for f in futures]
     if backend is ExecutionBackend.PROCESSES:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers or len(jobs)
-        ) as pool:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(job) for job in jobs]
             return [f.result() for f in futures]
+    raise ValueError(f"unknown execution backend {backend!r}")
+
+
+def run_task_queue(
+    tasks: Sequence[U],
+    fn: Callable[[U], T],
+    backend: ExecutionBackend | str = ExecutionBackend.SERIAL,
+    max_workers: int | None = None,
+) -> list[T]:
+    """Apply ``fn`` to every task with workers *pulling* from a shared queue.
+
+    Results are returned in task order regardless of completion order, so a
+    caller can merge them deterministically.  Under ``threads`` each worker
+    is an explicit loop -- pop the next task index, run it, repeat until the
+    queue drains -- so a straggling task occupies exactly one worker while
+    the rest keep pulling.  Under ``processes`` the pool's internal work
+    queue provides the same pull behaviour; ``fn`` and the tasks must then
+    be picklable.  The first exception raised by any task is re-raised after
+    the surviving workers finish.
+    """
+    backend = ExecutionBackend(backend)
+    num_tasks = len(tasks)
+    if num_tasks == 0:
+        return []
+    workers = _effective_workers(max_workers, num_tasks)
+    # The processes backend always goes through a real pool (even with one
+    # worker) so the picklable-task contract is genuinely exercised; the
+    # in-process backends degenerate to a plain loop when only one worker
+    # would run anyway.
+    if backend is ExecutionBackend.SERIAL or (
+        backend is ExecutionBackend.THREADS and (num_tasks == 1 or workers == 1)
+    ):
+        return [fn(task) for task in tasks]
+
+    results: list[T] = [None] * num_tasks  # type: ignore[list-item]
+    if backend is ExecutionBackend.THREADS:
+        pending: queue.SimpleQueue[int] = queue.SimpleQueue()
+        for index in range(num_tasks):
+            pending.put(index)
+        errors: list[BaseException] = []
+        error_lock = threading.Lock()
+
+        def worker_loop() -> None:
+            while True:
+                try:
+                    index = pending.get_nowait()
+                except queue.Empty:
+                    return
+                try:
+                    results[index] = fn(tasks[index])
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    with error_lock:
+                        errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=worker_loop) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results
+    if backend is ExecutionBackend.PROCESSES:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(fn, task): i for i, task in enumerate(tasks)}
+            for future in concurrent.futures.as_completed(futures):
+                results[futures[future]] = future.result()
+        return results
     raise ValueError(f"unknown execution backend {backend!r}")

@@ -37,18 +37,49 @@ class NodeMetrics:
     bytes_sent: int = 0
     triangles: int = 0
     workers: int = 0
+    chunks_completed: int = 0
+    chunks_stolen: int = 0
+    chunks_retried: int = 0
     io_stats: IOStats = field(default_factory=IOStats)
+    worker_calc_seconds: list[float] = field(default_factory=list)
 
     def add_worker(
-        self, cpu_seconds: float, io_seconds: float, triangles: int, io_stats: IOStats
+        self,
+        cpu_seconds: float,
+        io_seconds: float,
+        triangles: int,
+        io_stats: IOStats,
+        chunks_completed: int = 1,
+        chunks_stolen: int = 0,
+        chunks_retried: int = 0,
+        failed: bool = False,
     ) -> None:
-        """Fold one worker's result into this node's totals."""
+        """Fold one worker's result into this node's totals.
+
+        The chunk counters come from the dynamic scheduler: how many chunks
+        the worker pulled, how many of those a static split would have given
+        to someone else (steals), and how many it re-executed after another
+        worker was killed (retries).  Static runs use the defaults -- one
+        "chunk" (the worker's range), nothing stolen or retried.
+
+        A ``failed`` worker (killed by the failure-injection spec) still
+        contributes its partial work to the node totals, but is excluded
+        from the per-worker imbalance sample: it is no longer capacity, so
+        its small calc time would deflate the mean and overstate the
+        max/mean imbalance of the surviving crew.  Idle-but-alive workers
+        *are* sampled -- an under-used processor is genuine imbalance.
+        """
         self.cpu_seconds += cpu_seconds
         self.io_seconds += io_seconds
         self.calc_seconds = max(self.calc_seconds, cpu_seconds + io_seconds)
         self.triangles += triangles
         self.workers += 1
+        self.chunks_completed += chunks_completed
+        self.chunks_stolen += chunks_stolen
+        self.chunks_retried += chunks_retried
         self.io_stats.merge(io_stats)
+        if not failed:
+            self.worker_calc_seconds.append(cpu_seconds + io_seconds)
 
     def total_seconds(self) -> float:
         """Copy time plus elapsed calculation time for this node."""
@@ -65,6 +96,9 @@ class NodeMetrics:
             "bytes_sent": self.bytes_sent,
             "triangles": self.triangles,
             "workers": self.workers,
+            "chunks_completed": self.chunks_completed,
+            "chunks_stolen": self.chunks_stolen,
+            "chunks_retried": self.chunks_retried,
         }
 
 
@@ -105,6 +139,18 @@ class ClusterMetrics:
     def total_network_bytes(self) -> int:
         return sum(n.bytes_received for n in self.nodes)
 
+    @property
+    def total_chunks_completed(self) -> int:
+        return sum(n.chunks_completed for n in self.nodes)
+
+    @property
+    def total_chunks_stolen(self) -> int:
+        return sum(n.chunks_stolen for n in self.nodes)
+
+    @property
+    def total_chunks_retried(self) -> int:
+        return sum(n.chunks_retried for n in self.nodes)
+
     def average_copy_seconds(self, exclude_master: bool = True) -> float:
         """Average copy time over the non-master nodes (Table III convention)."""
         nodes = self.nodes[1:] if exclude_master and len(self.nodes) > 1 else self.nodes
@@ -122,6 +168,22 @@ class ClusterMetrics:
         if not times or min(times) == 0.0:
             return 1.0
         return max(times) / min(times)
+
+    def worker_imbalance(self) -> float:
+        """Max/mean *per-processor* calculation time across the whole cluster.
+
+        This is the quantity dynamic chunk scheduling attacks: 1.0 means
+        every processor finished at the same modelled instant; the paper's
+        naive split reaches several × on skewed graphs because one
+        struggler processor owns the hub vertices' intersections.
+        """
+        times = [t for n in self.nodes for t in n.worker_calc_seconds]
+        if not times:
+            return 1.0
+        mean = sum(times) / len(times)
+        if mean == 0.0:
+            return 1.0
+        return max(times) / mean
 
     def as_rows(self) -> list[dict[str, float]]:
         return [n.as_dict() for n in self.nodes]

@@ -18,10 +18,16 @@ Modules
 ``mgt``
     The modified Massive Graph Triangulation algorithm (Algorithm 2),
     operating over the binary on-disk format with a strict memory budget.
+``scheduler``
+    Dynamic pull-based chunk scheduling: window-aligned chunking of the
+    oriented edge file, the deterministic pull-protocol replay with
+    straggler/failure injection, and the picklable per-chunk execution
+    tasks every backend (including processes) runs.
 ``pdtl``
     The PDTL master/worker framework: orientation, graph duplication, edge
-    range assignment, per-core MGT execution (serially, via threads, or via
-    a simulated cluster), and result aggregation.
+    range assignment (static ranges or the dynamic chunk queue), per-core
+    MGT execution (serially, via threads, or via a simulated cluster), and
+    result aggregation.
 ``runner``
     One-call convenience entry points ``count_triangles`` / ``list_triangles``.
 """
@@ -31,6 +37,12 @@ from repro.core.mgt import MGTWorker, mgt_count
 from repro.core.orientation import OrientationResult, orient_graph, orient_csr
 from repro.core.pdtl import PDTLResult, PDTLRunner
 from repro.core.runner import count_triangles, list_triangles
+from repro.core.scheduler import (
+    Chunk,
+    DynamicScheduler,
+    make_chunks,
+    resolve_chunk_edges,
+)
 from repro.core.triangles import (
     CountingSink,
     ListingSink,
@@ -51,6 +63,10 @@ __all__ = [
     "orient_csr",
     "MGTWorker",
     "mgt_count",
+    "Chunk",
+    "DynamicScheduler",
+    "make_chunks",
+    "resolve_chunk_edges",
     "PDTLRunner",
     "PDTLResult",
     "count_triangles",

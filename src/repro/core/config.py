@@ -52,6 +52,34 @@ class PDTLConfig:
         when True, triangles are counted but not materialised, so the output
         term ``T/B`` of the I/O bound and ``T`` of the network bound drop to 0,
         matching the convention of Theorem IV.3.
+    scheduling:
+        how oriented edge positions are handed to the ``N·P`` workers.
+        ``"static"`` (the paper's protocol) computes one contiguous range per
+        processor up front with :func:`repro.core.load_balance.split_edges`;
+        ``"dynamic"`` splits the file into many window-aligned chunks
+        (:mod:`repro.core.scheduler`) that workers *pull* from a shared queue,
+        so heterogeneous, straggling or failing workers cannot stall the run.
+        Both modes report the exact same triangle counts.
+    chunk_edges:
+        target chunk size for ``scheduling="dynamic"``, in oriented edge
+        positions.  Rounded **up** to a whole number of MGT memory windows
+        (``window_edges``) so a chunk never pays a partial-window scan.  When
+        omitted, a size is derived from ``M`` so each worker sees roughly
+        :data:`repro.core.scheduler.DEFAULT_CHUNKS_PER_WORKER` chunks.
+    failure_spec:
+        fault-injection for ``scheduling="dynamic"``: a mapping (or iterable
+        of pairs) ``{worker_index: after_chunks}``.  Worker ``w`` (global
+        index ``node·P + proc``) is killed when it pulls its
+        ``after_chunks+1``-th chunk; the chunk it was holding is re-enqueued
+        and re-executed by a surviving worker, so the final counts are exact.
+        Normalised to a sorted tuple of ``(worker, after_chunks)`` pairs so
+        the configuration stays hashable.
+    modelled_cpu:
+        when True, each MGT worker reports a *modelled* CPU time derived from
+        its deterministic operation count (edges scanned plus intersection
+        work) instead of the measured thread CPU time.  This makes
+        ``calc_seconds`` bit-identical across execution backends and hosts --
+        the property the cross-backend equivalence suite asserts.
     """
 
     num_nodes: int = 1
@@ -64,6 +92,10 @@ class PDTLConfig:
     count_only: bool = True
     use_processes: bool = False
     seed: int = 0
+    scheduling: str = "static"
+    chunk_edges: int | None = None
+    failure_spec: tuple[tuple[int, int], ...] = ()
+    modelled_cpu: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
@@ -87,6 +119,59 @@ class PDTLConfig:
             raise ConfigurationError(
                 "memory_fill_fraction must be strictly between 0 and 1"
             )
+        if self.scheduling not in ("static", "dynamic"):
+            raise ConfigurationError(
+                f"scheduling must be 'static' or 'dynamic', got {self.scheduling!r}"
+            )
+        if self.chunk_edges is not None:
+            object.__setattr__(self, "chunk_edges", int(self.chunk_edges))
+            if self.chunk_edges <= 0:
+                raise ConfigurationError("chunk_edges must be positive")
+            if self.scheduling != "dynamic":
+                raise ConfigurationError(
+                    "chunk_edges requires scheduling='dynamic' (static ranges "
+                    "are sized by split_edges, not by chunking)"
+                )
+        object.__setattr__(
+            self, "failure_spec", self._normalize_failure_spec(self.failure_spec)
+        )
+        if self.failure_spec and self.scheduling != "dynamic":
+            raise ConfigurationError(
+                "failure_spec requires scheduling='dynamic' (static ranges have "
+                "no queue to re-enqueue a lost worker's chunks onto)"
+            )
+        if len(self.failure_spec) >= self.total_processors:
+            raise ConfigurationError(
+                "failure_spec must leave at least one surviving worker"
+            )
+
+    def _normalize_failure_spec(self, spec: object) -> tuple[tuple[int, int], ...]:
+        """Accept a dict / iterable of pairs and normalise to a sorted tuple."""
+        if not spec:
+            return ()
+        pairs = spec.items() if isinstance(spec, dict) else spec
+        normalized: dict[int, int] = {}
+        for entry in pairs:
+            worker, after = entry
+            worker, after = int(worker), int(after)
+            if not 0 <= worker < self.total_processors:
+                raise ConfigurationError(
+                    f"failure_spec worker {worker} out of range for "
+                    f"{self.total_processors} processors"
+                )
+            if after < 0:
+                raise ConfigurationError("failure_spec chunk counts must be >= 0")
+            if worker in normalized:
+                raise ConfigurationError(
+                    f"failure_spec lists worker {worker} more than once"
+                )
+            normalized[worker] = after
+        return tuple(sorted(normalized.items()))
+
+    @property
+    def failure_after(self) -> dict[int, int]:
+        """The failure spec as a ``{worker_index: after_chunks}`` mapping."""
+        return dict(self.failure_spec)
 
     # -- derived quantities ----------------------------------------------------------
 

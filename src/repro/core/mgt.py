@@ -45,6 +45,12 @@ __all__ = ["MGTWorker", "MGTResult", "mgt_count"]
 
 _ITEM_BYTES = 8  # int64 adjacency entries
 
+#: Throughput used to convert the deterministic operation count (edges
+#: scanned + intersection elements examined) into a modelled CPU time when
+#: ``PDTLConfig.modelled_cpu`` is set.  The absolute value only scales the
+#: time axis; relative comparisons (imbalance, speedups) are unaffected.
+MODELLED_CPU_OPS_PER_SECOND = 2.5e8
+
 
 @dataclass
 class MGTResult:
@@ -70,6 +76,7 @@ class MGTResult:
     range_start: int
     range_stop: int
     peak_memory_bytes: int
+    cpu_operations: int = 0
 
 
 class MGTWorker:
@@ -143,6 +150,10 @@ class MGTWorker:
         cpu_seconds = 0.0
         intersections = 0
         iterations = 0
+        # Deterministic operation count: edges loaded/scanned plus gathered
+        # intersection elements.  Unlike the measured thread time it is a pure
+        # function of the input, so it backs the ``modelled_cpu`` mode.
+        cpu_operations = 0
 
         # The degree file is scanned once to build the vertex offsets used to
         # address the adjacency file.  In the paper's implementation the
@@ -168,6 +179,7 @@ class MGTWorker:
             window_stop = min(window_start + self._window_edges, self.range_stop)
             iterations += 1
             edges_processed += window_stop - window_start
+            cpu_operations += window_stop - window_start
 
             # ---- load the window: edg + ind -------------------------------------
             edg = self.graph.read_adjacency_range(
@@ -213,7 +225,7 @@ class MGTWorker:
 
                 t0 = time.thread_time()
                 block_offsets = offsets[v : hi + 1] - offsets[v]
-                pairs = self._process_block(
+                pairs, block_ops = self._process_block(
                     sink,
                     block_adj,
                     block_offsets,
@@ -225,6 +237,7 @@ class MGTWorker:
                     win_degrees=win_degrees,
                 )
                 intersections += pairs
+                cpu_operations += block_ops
                 cpu_seconds += time.thread_time() - t0
                 v = hi
 
@@ -234,6 +247,8 @@ class MGTWorker:
 
         peak = self.budget.peak_usage
         self.budget.release_all()
+        if self.config.modelled_cpu:
+            cpu_seconds = cpu_operations / MODELLED_CPU_OPS_PER_SECOND
         return MGTResult(
             triangles=sink.count,
             iterations=iterations,
@@ -245,6 +260,7 @@ class MGTWorker:
             range_start=self.range_start,
             range_stop=self.range_stop,
             peak_memory_bytes=peak,
+            cpu_operations=cpu_operations,
         )
 
 
@@ -259,7 +275,7 @@ class MGTWorker:
         vhigh: int,
         win_offsets: np.ndarray,
         win_degrees: np.ndarray,
-    ) -> int:
+    ) -> tuple[int, int]:
         """Run the MGT inner loop for one scanned block of cone vertices.
 
         The loop body of Algorithm 2 -- build ``N⁺(u)`` and intersect
@@ -276,11 +292,14 @@ class MGTWorker:
            array -- the same sorted-array intersection the paper's modified
            MGT performs, just batched.
 
-        Returns the number of (cone, out-neighbour) pairs intersected, i.e.
-        the Σ|N⁺(u)| term of the CPU analysis.
+        Returns ``(pairs, operations)``: the number of (cone, out-neighbour)
+        pairs intersected -- the Σ|N⁺(u)| term of the CPU analysis -- and the
+        deterministic operation count (block entries scanned plus gathered
+        ``E_v`` elements) that backs the modelled CPU time.
         """
         if block_adj.shape[0] == 0:
-            return 0
+            return 0, 0
+        scanned = int(block_adj.shape[0])
         num_block_vertices = block_offsets.shape[0] - 1
 
         # step 1: candidate (u, v) pairs
@@ -289,7 +308,7 @@ class MGTWorker:
         if in_span.any():
             cand_mask[in_span] = win_degrees[block_adj[in_span] - vlow] > 0
         if not cand_mask.any():
-            return 0
+            return 0, scanned
         block_degrees = (block_offsets[1:] - block_offsets[:-1]).astype(np.int64)
         entry_sources = np.repeat(
             np.arange(num_block_vertices, dtype=np.int64), block_degrees
@@ -302,7 +321,7 @@ class MGTWorker:
         seg_lengths = win_degrees[pair_v - vlow]
         total = int(seg_lengths.sum())
         if total == 0:
-            return num_pairs
+            return num_pairs, scanned
         seg_starts = win_offsets[pair_v - vlow]
         bounds = np.zeros(num_pairs + 1, dtype=np.int64)
         np.cumsum(seg_lengths, out=bounds[1:])
@@ -327,7 +346,7 @@ class MGTWorker:
             pivots_v = pair_v[pair_ids[found]]
             pivots_w = ev_all[found]
             sink.add_triples(cones, pivots_v, pivots_w)
-        return num_pairs
+        return num_pairs, scanned + total
 
 
 def mgt_count(

@@ -28,18 +28,24 @@ from pathlib import Path
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.executor import ExecutionBackend, run_jobs
+from repro.cluster.executor import ExecutionBackend, run_task_queue
 from repro.cluster.metrics import ClusterMetrics
 from repro.core.config import PDTLConfig
 from repro.core.load_balance import EdgeRange, split_edges
-from repro.core.mgt import MGTResult, MGTWorker
+from repro.core.mgt import MGTResult
 from repro.core.orientation import OrientationResult, orient_graph
-from repro.core.triangles import (
-    CountingSink,
-    ListingSink,
-    PerVertexCountSink,
-    Triangle,
+from repro.core.scheduler import (
+    Chunk,
+    ChunkOutcome,
+    ChunkTask,
+    DynamicScheduler,
+    ScheduleResult,
+    execute_chunk_task,
+    make_chunks,
+    merge_mgt_results,
+    resolve_chunk_edges,
 )
+from repro.core.triangles import Triangle
 from repro.errors import ConfigurationError
 from repro.externalmem.blockio import DiskModel
 from repro.graph.binfmt import GraphFile, write_graph
@@ -54,12 +60,25 @@ _COUNT_BYTES = 8
 
 @dataclass(frozen=True)
 class WorkerReport:
-    """One processor's MGT result, tagged with its cluster placement."""
+    """One processor's MGT result, tagged with its cluster placement.
+
+    Under static scheduling ``edge_range`` is the processor's assigned
+    range and the chunk counters keep their defaults (one unit of work,
+    nothing stolen or retried).  Under dynamic scheduling ``edge_range`` is
+    the *envelope* of the chunks the worker pulled (they need not be
+    contiguous), ``chunks_completed``/``chunks_stolen``/``chunks_retried``
+    account for its queue activity, and ``failed`` marks a worker killed by
+    the failure-injection spec.
+    """
 
     node_index: int
     proc_index: int
     edge_range: EdgeRange
     result: MGTResult
+    chunks_completed: int = 1
+    chunks_stolen: int = 0
+    chunks_retried: int = 0
+    failed: bool = False
 
     @property
     def triangles(self) -> int:
@@ -98,6 +117,7 @@ class PDTLResult:
     triangle_list: list[Triangle] | None = None
     per_vertex_counts: np.ndarray | None = None
     max_out_degree: int = 0
+    num_chunks: int = 0
 
     @property
     def average_copy_seconds(self) -> float:
@@ -205,83 +225,92 @@ class PDTLRunner:
             parallel=self.config.parallel_orientation,
         )
 
-    def _make_sink(self, sink_kind: str, num_vertices: int):
-        if sink_kind == "count":
-            return CountingSink()
-        if sink_kind == "list":
-            return ListingSink()
-        return PerVertexCountSink(num_vertices)
+    def _result_payload(self, sink_kind: str, triangles: int) -> int:
+        if sink_kind == "count" or self.config.count_only:
+            return _COUNT_BYTES
+        return _COUNT_BYTES + triangles * _TRIANGLE_BYTES
+
+    def _execute_units(
+        self,
+        units: list[tuple[int, int]],
+        unit_graphs: list[GraphFile],
+        sink_kind: str,
+    ) -> list[ChunkOutcome]:
+        """Execute MGT over every ``[start, stop)`` unit on the host backend.
+
+        Each unit becomes a self-contained, picklable
+        :class:`~repro.core.scheduler.ChunkTask` with its own sink and I/O
+        counters, executed by a pull-based worker crew
+        (:func:`~repro.cluster.executor.run_task_queue`); outcomes come back
+        in unit order so every aggregation below is deterministic no matter
+        which backend ran them, or in what order they finished.
+        """
+        tasks = [
+            ChunkTask.from_graph(
+                index=i,
+                graph=graph,
+                config=self.config,
+                start=start,
+                stop=stop,
+                sink_kind=sink_kind,
+            )
+            for i, ((start, stop), graph) in enumerate(zip(units, unit_graphs))
+        ]
+        return run_task_queue(tasks, execute_chunk_task, backend=self.backend)
 
     def _run_on_cluster(
         self, cluster: Cluster, graph: CSRGraph | GraphFile, sink_kind: str
     ) -> PDTLResult:
         config = self.config
+        dynamic = config.scheduling == "dynamic"
 
         # Step 1: stage + orient on the master
         source = self._stage_input(cluster, graph)
         orientation = self._orient(source)
         oriented = orientation.oriented
 
-        # Step 2: edge ranges (load-balanced or naive)
-        ranges = split_edges(
-            num_edges=oriented.num_edges,
-            num_nodes=config.num_nodes,
-            procs_per_node=config.procs_per_node,
-            out_degrees=orientation.out_degrees,
-            in_degrees=orientation.in_degrees,
-            load_balanced=config.load_balanced,
-        )
+        # Step 2: work assignment -- static edge ranges (load-balanced or
+        # naive), or the dynamic scheduler's window-aligned chunk queue
+        ranges: list[EdgeRange] = []
+        chunks: list[Chunk] = []
+        if dynamic:
+            chunks = make_chunks(
+                oriented.num_edges, resolve_chunk_edges(config, oriented.num_edges)
+            )
+        else:
+            ranges = split_edges(
+                num_edges=oriented.num_edges,
+                num_nodes=config.num_nodes,
+                procs_per_node=config.procs_per_node,
+                out_degrees=orientation.out_degrees,
+                in_degrees=orientation.in_degrees,
+                load_balanced=config.load_balanced,
+            )
 
-        # Step 3: replicate the oriented graph + send configurations
+        # Step 3: replicate the oriented graph + send per-processor configs
         local_graphs = cluster.replicate_graph(oriented)
-        for edge_range in ranges:
-            cluster.send_configuration(edge_range.node_index)
+        for worker in range(config.total_processors):
+            cluster.send_configuration(worker // config.procs_per_node)
 
-        # Step 4: per-processor MGT jobs
-        sinks = [self._make_sink(sink_kind, oriented.num_vertices) for _ in ranges]
-
-        def make_job(edge_range: EdgeRange, sink):
-            local = local_graphs[edge_range.node_index]
-
-            def job() -> MGTResult:
-                worker = MGTWorker(
-                    local,
-                    config,
-                    range_start=edge_range.start,
-                    range_stop=edge_range.stop,
-                )
-                return worker.run(sink)
-
-            return job
-
-        jobs = [make_job(r, s) for r, s in zip(ranges, sinks)]
-        results = run_jobs(jobs, backend=self.backend)
+        # Step 4: MGT execution on the host backend (placement-independent)
+        if dynamic:
+            units = [(c.start, c.stop) for c in chunks]
+            unit_graphs = [local_graphs[0]] * len(chunks)
+        else:
+            units = [(r.start, r.stop) for r in ranges]
+            unit_graphs = [local_graphs[r.node_index] for r in ranges]
+        outcomes = self._execute_units(units, unit_graphs, sink_kind)
 
         # Step 5: aggregate at the master
-        reports: list[WorkerReport] = []
-        total_triangles = 0
-        for edge_range, mgt_result in zip(ranges, results):
-            report = WorkerReport(
-                node_index=edge_range.node_index,
-                proc_index=edge_range.proc_index,
-                edge_range=edge_range,
-                result=mgt_result,
+        if dynamic:
+            reports, edge_ranges = self._aggregate_dynamic(
+                cluster, chunks, outcomes, sink_kind
             )
-            reports.append(report)
-            total_triangles += mgt_result.triangles
-            node_metrics = cluster.metrics.node(edge_range.node_index)
-            node_metrics.add_worker(
-                cpu_seconds=mgt_result.cpu_seconds,
-                io_seconds=mgt_result.io_seconds,
-                triangles=mgt_result.triangles,
-                io_stats=mgt_result.io_stats,
+        else:
+            reports, edge_ranges = self._aggregate_static(
+                cluster, ranges, outcomes, sink_kind
             )
-            # result message back to the master
-            if sink_kind == "count" or config.count_only:
-                payload = _COUNT_BYTES
-            else:
-                payload = _COUNT_BYTES + mgt_result.triangles * _TRIANGLE_BYTES
-            cluster.send_result(edge_range.node_index, payload)
+        total_triangles = sum(outcome.triangles for outcome in outcomes)
 
         metrics = cluster.metrics
         calc_seconds = metrics.calc_seconds
@@ -289,16 +318,19 @@ class PDTLRunner:
             (node.total_seconds() for node in metrics.nodes), default=0.0
         )
 
+        # merge sink payloads by unit index -- never by completion order
         triangle_list: list[Triangle] | None = None
         per_vertex: np.ndarray | None = None
         if sink_kind == "list":
-            triangle_list = []
-            for sink in sinks:
-                triangle_list.extend(sink.triangles)  # type: ignore[attr-defined]
+            triangle_list = [
+                Triangle(int(u), int(v), int(w))
+                for outcome in outcomes
+                for u, v, w in outcome.triples
+            ]
         elif sink_kind == "per-vertex":
             per_vertex = np.zeros(oriented.num_vertices, dtype=np.int64)
-            for sink in sinks:
-                per_vertex += sink.per_vertex  # type: ignore[attr-defined]
+            for outcome in outcomes:
+                per_vertex += outcome.per_vertex
 
         return PDTLResult(
             config=config,
@@ -311,8 +343,120 @@ class PDTLRunner:
             network_messages=cluster.network.total_messages,
             workers=reports,
             metrics=metrics,
-            edge_ranges=ranges,
+            edge_ranges=edge_ranges,
             triangle_list=triangle_list,
             per_vertex_counts=per_vertex,
             max_out_degree=orientation.max_out_degree,
+            num_chunks=len(units),
         )
+
+    def _aggregate_static(
+        self,
+        cluster: Cluster,
+        ranges: list[EdgeRange],
+        outcomes: list[ChunkOutcome],
+        sink_kind: str,
+    ) -> tuple[list[WorkerReport], list[EdgeRange]]:
+        """The paper's step 5: one result message per fixed-range worker."""
+        reports: list[WorkerReport] = []
+        for edge_range, outcome in zip(ranges, outcomes):
+            mgt_result = outcome.result
+            reports.append(
+                WorkerReport(
+                    node_index=edge_range.node_index,
+                    proc_index=edge_range.proc_index,
+                    edge_range=edge_range,
+                    result=mgt_result,
+                )
+            )
+            cluster.metrics.node(edge_range.node_index).add_worker(
+                cpu_seconds=mgt_result.cpu_seconds,
+                io_seconds=mgt_result.io_seconds,
+                triangles=mgt_result.triangles,
+                io_stats=mgt_result.io_stats,
+            )
+            cluster.send_result(
+                edge_range.node_index,
+                self._result_payload(sink_kind, mgt_result.triangles),
+            )
+        return reports, ranges
+
+    def _aggregate_dynamic(
+        self,
+        cluster: Cluster,
+        chunks: list[Chunk],
+        outcomes: list[ChunkOutcome],
+        sink_kind: str,
+    ) -> tuple[list[WorkerReport], list[EdgeRange]]:
+        """Replay the pull-based schedule and account it to the cluster.
+
+        Chunk→worker assignment is the deterministic modelled-time replay of
+        :class:`DynamicScheduler`; each worker's per-chunk results are merged
+        into one report, each granted chunk is charged a hand-out message,
+        and each completed chunk a result message back to the master.
+        """
+        config = self.config
+        costs = [o.result.cpu_seconds + o.result.io_seconds for o in outcomes]
+        scheduler = DynamicScheduler(
+            chunks,
+            num_workers=config.total_processors,
+            failure_after=config.failure_after,
+        )
+        schedule: ScheduleResult = scheduler.schedule(costs)
+        failed = set(schedule.failed_workers)
+
+        reports: list[WorkerReport] = []
+        for worker in range(config.total_processors):
+            node = worker // config.procs_per_node
+            proc = worker % config.procs_per_node
+            indices = schedule.assignments[worker]
+            merged = merge_mgt_results(
+                [outcomes[i].result for i in indices], block_size=config.block_size
+            )
+            envelope = EdgeRange(
+                node_index=node,
+                proc_index=proc,
+                start=min((chunks[i].start for i in indices), default=0),
+                stop=max((chunks[i].stop for i in indices), default=0),
+            )
+            reports.append(
+                WorkerReport(
+                    node_index=node,
+                    proc_index=proc,
+                    edge_range=envelope,
+                    result=merged,
+                    chunks_completed=len(indices),
+                    chunks_stolen=schedule.stolen[worker],
+                    chunks_retried=len(schedule.retried[worker]),
+                    failed=worker in failed,
+                )
+            )
+            cluster.metrics.node(node).add_worker(
+                cpu_seconds=merged.cpu_seconds,
+                io_seconds=merged.io_seconds,
+                triangles=merged.triangles,
+                io_stats=merged.io_stats,
+                chunks_completed=len(indices),
+                chunks_stolen=schedule.stolen[worker],
+                chunks_retried=len(schedule.retried[worker]),
+                failed=worker in failed,
+            )
+            for index in indices:
+                cluster.send_chunk_grant(node)
+                cluster.send_result(
+                    node, self._result_payload(sink_kind, outcomes[index].triangles)
+                )
+
+        # the chunk list itself (in file order) is the coverage record: every
+        # chunk appears exactly once, owned by whichever worker completed it
+        owners = schedule.owner_of()
+        edge_ranges = [
+            EdgeRange(
+                node_index=owners[c.index] // config.procs_per_node,
+                proc_index=owners[c.index] % config.procs_per_node,
+                start=c.start,
+                stop=c.stop,
+            )
+            for c in chunks
+        ]
+        return reports, edge_ranges

@@ -1,0 +1,463 @@
+"""Dynamic chunk scheduling: pull-based work distribution with fault tolerance.
+
+The paper's PDTL protocol hands every processor one *static* contiguous
+edge range computed up front (section IV-B1).  Figure 9 shows that even
+the in-degree-balanced split leaves imbalance on skewed graphs, and a
+straggling or failed worker stalls the whole run because nobody else can
+take over its range.  This module replaces the one-shot assignment with a
+**pull-based chunk queue**:
+
+* the oriented adjacency file is cut into many small contiguous
+  :class:`Chunk` s, each a whole number of MGT memory windows (so a chunk
+  never pays a partial-window scan -- the chunk size is derived from ``M``
+  exactly like the window size is);
+* workers *pull* the next chunk off a shared deque the moment they finish
+  their previous one, so fast workers naturally absorb the heavy chunks a
+  static split would have pinned onto one struggler;
+* a failure-injection hook can kill a worker mid-run: the chunk it was
+  holding is re-enqueued at the back of the deque and re-executed by a
+  surviving worker, so the run always completes with exact counts;
+* per-chunk results are merged **by chunk index**, never by completion
+  order, so the output is deterministic no matter how the race for the
+  queue plays out.
+
+Two concerns are deliberately decoupled, mirroring the repository-wide
+split between *measured host execution* and *modelled cluster time*:
+
+1. chunk **computation** is a pure function of ``(graph, config, range)``
+   -- :func:`execute_chunk_task` is a picklable, placement-independent task
+   executed on any :class:`~repro.cluster.executor.ExecutionBackend` (the
+   processes backend finally works for PDTL because of this);
+2. chunk **assignment** is replayed as a deterministic greedy simulation in
+   modelled time by :class:`DynamicScheduler`: the simulated worker with
+   the smallest accumulated modelled time pulls next, which is exactly the
+   "first to finish pulls first" behaviour of a real pull loop, minus the
+   host-scheduler noise.  This keeps every modelled metric bit-identical
+   across backends, hosts and repetitions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import PDTLConfig
+from repro.core.mgt import MGTResult, MGTWorker
+from repro.core.triangles import CountingSink, ListingSink, PerVertexCountSink
+from repro.errors import ConfigurationError, SchedulingError
+from repro.externalmem.blockio import BlockDevice, DiskModel
+from repro.externalmem.iostats import IOStats
+from repro.graph.binfmt import GraphFile
+from repro.utils import ceil_div, chunk_ranges
+
+__all__ = [
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "Chunk",
+    "ChunkOutcome",
+    "ChunkTask",
+    "chunks_cover_exactly",
+    "DynamicScheduler",
+    "ScheduleResult",
+    "execute_chunk_task",
+    "make_chunks",
+    "merge_mgt_results",
+    "resolve_chunk_edges",
+]
+
+#: How many chunks each worker should see on average when ``chunk_edges`` is
+#: not set explicitly.  More chunks per worker means finer balancing but more
+#: per-chunk overhead (each chunk re-reads the degree file and pays its own
+#: full-graph scan per window).
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# chunking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous half-open range ``[start, stop)`` of oriented edge
+    positions, the unit of work a worker pulls from the queue."""
+
+    index: int
+    start: int
+    stop: int
+
+    @property
+    def num_edges(self) -> int:
+        return self.stop - self.start
+
+
+def resolve_chunk_edges(config: PDTLConfig, num_edges: int) -> int:
+    """The effective chunk size for a run: whole memory windows, always.
+
+    An explicit ``config.chunk_edges`` is rounded **up** to a multiple of
+    ``window_edges``; otherwise the size targets
+    :data:`DEFAULT_CHUNKS_PER_WORKER` chunks per processor, again in whole
+    windows.  A chunk is therefore never smaller than one window, so dynamic
+    scheduling performs the same per-window full-graph scans a static range
+    of equal size would.
+    """
+    window = config.window_edges
+    if config.chunk_edges is not None:
+        return max(1, ceil_div(config.chunk_edges, window)) * window
+    if num_edges <= 0:
+        return window
+    target = ceil_div(num_edges, config.total_processors * DEFAULT_CHUNKS_PER_WORKER)
+    return max(1, ceil_div(target, window)) * window
+
+
+def make_chunks(num_edges: int, chunk_edges: int) -> list[Chunk]:
+    """Cut ``[0, num_edges)`` into consecutive chunks of ``chunk_edges``.
+
+    The chunks partition the edge positions exactly: no overlap, no gap,
+    the last chunk absorbing the remainder.  ``num_edges == 0`` yields no
+    chunks at all.
+    """
+    if chunk_edges <= 0:
+        raise ConfigurationError(f"chunk_edges must be positive, got {chunk_edges}")
+    if num_edges < 0:
+        raise ConfigurationError(f"num_edges must be non-negative, got {num_edges}")
+    chunks: list[Chunk] = []
+    start = 0
+    while start < num_edges:
+        stop = min(start + chunk_edges, num_edges)
+        chunks.append(Chunk(index=len(chunks), start=start, stop=stop))
+        start = stop
+    return chunks
+
+
+def chunks_cover_exactly(chunks: Sequence[Chunk], num_edges: int) -> bool:
+    """True when the chunks tile ``[0, num_edges)`` exactly once, in order."""
+    expected = 0
+    for chunk in chunks:
+        if chunk.start != expected or chunk.stop < chunk.start:
+            return False
+        expected = chunk.stop
+    return expected == num_edges
+
+
+# ---------------------------------------------------------------------------
+# chunk execution (picklable, placement-independent)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """Everything a worker process needs to execute one chunk.
+
+    The task carries plain data only (paths, sizes, the frozen config), so
+    it crosses a :class:`~concurrent.futures.ProcessPoolExecutor` boundary
+    by pickle; the worker re-opens the on-disk graph from ``device_root``.
+    All replicas of the oriented graph are byte-identical and the MGT
+    worker's I/O accounting is analytic, so the outcome is independent of
+    which machine's copy the task reads.
+    """
+
+    index: int
+    device_root: str
+    device_block_size: int
+    disk_model: DiskModel
+    graph_name: str
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    config: PDTLConfig
+    start: int
+    stop: int
+    sink_kind: str
+
+    @classmethod
+    def from_graph(
+        cls,
+        index: int,
+        graph: GraphFile,
+        config: PDTLConfig,
+        start: int,
+        stop: int,
+        sink_kind: str,
+    ) -> "ChunkTask":
+        return cls(
+            index=index,
+            device_root=str(graph.device.root),
+            device_block_size=graph.device.block_size,
+            disk_model=graph.device.model,
+            graph_name=graph.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            max_degree=graph.max_degree,
+            config=config,
+            start=start,
+            stop=stop,
+            sink_kind=sink_kind,
+        )
+
+
+@dataclass
+class ChunkOutcome:
+    """The result of one chunk execution, keyed by chunk index for merging.
+
+    ``triples`` holds the listed triangles as an ``(k, 3)`` int64 array when
+    the sink kind is ``"list"``; ``per_vertex`` the per-vertex counts when it
+    is ``"per-vertex"``.  Arrays pickle cleanly, so the same payload shape
+    serves every backend.
+    """
+
+    index: int
+    result: MGTResult
+    triangles: int
+    triples: np.ndarray | None = None
+    per_vertex: np.ndarray | None = None
+
+
+def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
+    """Run modified MGT over one chunk; module-level so it pickles.
+
+    Each execution gets a private sink and private I/O counters, so
+    outcomes can be merged in chunk-index order without caring which
+    worker, thread or process produced them -- the "deterministic merge
+    regardless of completion order" half of the scheduler contract.
+    """
+    device = BlockDevice(
+        task.device_root, block_size=task.device_block_size, model=task.disk_model
+    )
+    graph = GraphFile(
+        device=device,
+        name=task.graph_name,
+        num_vertices=task.num_vertices,
+        num_edges=task.num_edges,
+        directed=True,
+        max_degree=task.max_degree,
+    )
+    if task.sink_kind == "list":
+        sink: CountingSink | ListingSink | PerVertexCountSink = ListingSink()
+    elif task.sink_kind == "per-vertex":
+        sink = PerVertexCountSink(task.num_vertices)
+    else:
+        sink = CountingSink()
+    worker = MGTWorker(graph, task.config, range_start=task.start, range_stop=task.stop)
+    result = worker.run(sink)
+    triples: np.ndarray | None = None
+    per_vertex: np.ndarray | None = None
+    if task.sink_kind == "list":
+        triples = np.array(
+            [(t.cone, t.v, t.w) for t in sink.triangles], dtype=np.int64
+        ).reshape(-1, 3)
+    elif task.sink_kind == "per-vertex":
+        per_vertex = sink.per_vertex
+    return ChunkOutcome(
+        index=task.index,
+        result=result,
+        triangles=result.triangles,
+        triples=triples,
+        per_vertex=per_vertex,
+    )
+
+
+def merge_mgt_results(results: Sequence[MGTResult], block_size: int) -> MGTResult:
+    """Fold the per-chunk results of one worker into a single report.
+
+    Sums are taken in the given (chunk-index) order so the floating-point
+    accumulation is reproducible.  ``range_start``/``range_stop`` become the
+    envelope of the worker's chunks, which need not be contiguous under
+    dynamic scheduling.
+    """
+    io_stats = IOStats(block_size=block_size)
+    if not results:
+        return MGTResult(
+            triangles=0,
+            iterations=0,
+            cpu_seconds=0.0,
+            io_seconds=0.0,
+            io_stats=io_stats,
+            intersections=0,
+            edges_processed=0,
+            range_start=0,
+            range_stop=0,
+            peak_memory_bytes=0,
+            cpu_operations=0,
+        )
+    cpu = 0.0
+    io = 0.0
+    for result in results:
+        cpu += result.cpu_seconds
+        io += result.io_seconds
+        io_stats.merge(result.io_stats)
+    return MGTResult(
+        triangles=sum(r.triangles for r in results),
+        iterations=sum(r.iterations for r in results),
+        cpu_seconds=cpu,
+        io_seconds=io,
+        io_stats=io_stats,
+        intersections=sum(r.intersections for r in results),
+        edges_processed=sum(r.edges_processed for r in results),
+        range_start=min(r.range_start for r in results),
+        range_stop=max(r.range_stop for r in results),
+        peak_memory_bytes=max(r.peak_memory_bytes for r in results),
+        cpu_operations=sum(r.cpu_operations for r in results),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the pull-based schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleResult:
+    """Who ran what, in modelled time, under the pull-based protocol.
+
+    ``assignments[w]`` lists the chunk indices worker ``w`` completed, in
+    pull order; ``stolen[w]`` counts how many of them a naive contiguous
+    chunk split would have given to a different worker; ``retried[w]`` the
+    chunks ``w`` re-executed after their original holder was killed.
+    """
+
+    assignments: list[list[int]]
+    worker_seconds: list[float]
+    stolen: list[int]
+    retried: list[list[int]]
+    failed_workers: list[int] = field(default_factory=list)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def total_steals(self) -> int:
+        return sum(self.stolen)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(len(r) for r in self.retried)
+
+    def owner_of(self) -> dict[int, int]:
+        """Map every completed chunk index to the worker that completed it."""
+        owners: dict[int, int] = {}
+        for worker, indices in enumerate(self.assignments):
+            for index in indices:
+                owners[index] = worker
+        return owners
+
+
+class DynamicScheduler:
+    """Deterministic replay of the pull-based chunk protocol in modelled time.
+
+    Parameters
+    ----------
+    chunks:
+        the window-aligned chunks, in file order; they seed the shared deque.
+    num_workers:
+        the ``N·P`` simulated processors pulling from the deque.
+    failure_after:
+        fault injection -- ``{worker: k}`` kills worker ``w`` the moment it
+        pulls its ``k+1``-th chunk; the chunk it was holding goes to the back
+        of the deque for the survivors (``k = 0`` means the worker dies on
+        its very first pull and completes nothing).
+    straggler_factors:
+        heterogeneity injection -- ``{worker: factor}`` multiplies the
+        modelled cost of every chunk that worker completes, modelling a slow
+        machine; the greedy pull order automatically routes fewer chunks to
+        it.
+
+    :meth:`schedule` replays the protocol against the per-chunk modelled
+    costs: the alive worker with the smallest accumulated time pulls the
+    next chunk, which is exactly the completion-order behaviour of a real
+    shared-queue crew.  The replay is a pure function of its inputs, so
+    every backend (and every host) produces the same schedule.
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence[Chunk],
+        num_workers: int,
+        failure_after: Mapping[int, int] | None = None,
+        straggler_factors: Mapping[int, float] | None = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
+        self.chunks = list(chunks)
+        self.num_workers = int(num_workers)
+        self.failure_after = dict(failure_after or {})
+        self.straggler_factors = dict(straggler_factors or {})
+        for worker in (*self.failure_after, *self.straggler_factors):
+            if not 0 <= worker < self.num_workers:
+                raise ConfigurationError(
+                    f"injection spec names worker {worker}, but only "
+                    f"{self.num_workers} workers exist"
+                )
+
+    def static_owners(self) -> list[int]:
+        """The naive contiguous chunk split, the baseline for steal counting.
+
+        Chunk ``c``'s *home* worker is the one a static equal split of the
+        chunk list would assign it to; a pull by anyone else is a steal.
+        """
+        owners = [0] * len(self.chunks)
+        for worker, (lo, hi) in enumerate(
+            chunk_ranges(len(self.chunks), self.num_workers)
+        ):
+            for index in range(lo, hi):
+                owners[index] = worker
+        return owners
+
+    def schedule(self, costs: Sequence[float]) -> ScheduleResult:
+        """Replay the pull protocol against per-chunk modelled costs."""
+        if len(costs) != len(self.chunks):
+            raise ConfigurationError(
+                f"got {len(costs)} costs for {len(self.chunks)} chunks"
+            )
+        pending: deque[Chunk] = deque(self.chunks)
+        times = [0.0] * self.num_workers
+        completed = [0] * self.num_workers
+        alive = [True] * self.num_workers
+        assignments: list[list[int]] = [[] for _ in range(self.num_workers)]
+        stolen = [0] * self.num_workers
+        retried: list[list[int]] = [[] for _ in range(self.num_workers)]
+        failed_workers: list[int] = []
+        needs_retry: set[int] = set()
+        homes = self.static_owners()
+
+        while pending:
+            puller = min(
+                (w for w in range(self.num_workers) if alive[w]),
+                key=lambda w: (times[w], w),
+                default=None,
+            )
+            if puller is None:
+                raise SchedulingError(
+                    f"all {self.num_workers} workers were killed by the failure "
+                    f"spec with {len(pending)} chunks still pending"
+                )
+            chunk = pending.popleft()
+            threshold = self.failure_after.get(puller)
+            if threshold is not None and completed[puller] >= threshold:
+                # the worker dies holding this chunk: hand it to the survivors
+                alive[puller] = False
+                failed_workers.append(puller)
+                needs_retry.add(chunk.index)
+                pending.append(chunk)
+                continue
+            times[puller] += costs[chunk.index] * self.straggler_factors.get(
+                puller, 1.0
+            )
+            completed[puller] += 1
+            assignments[puller].append(chunk.index)
+            if homes[chunk.index] != puller:
+                stolen[puller] += 1
+            if chunk.index in needs_retry:
+                needs_retry.discard(chunk.index)
+                retried[puller].append(chunk.index)
+
+        return ScheduleResult(
+            assignments=assignments,
+            worker_seconds=times,
+            stolen=stolen,
+            retried=retried,
+            failed_workers=failed_workers,
+        )

@@ -60,5 +60,15 @@ class NetworkError(PDTLError):
     """Raised for simulated network failures (unknown node, link down)."""
 
 
+class SchedulingError(PDTLError):
+    """Raised when the dynamic chunk scheduler cannot make progress.
+
+    The only way this happens is that every simulated worker has been killed
+    by the failure-injection spec while chunks are still pending: with at
+    least one surviving worker the pull-based queue always drains, because a
+    lost worker's unfinished chunk is re-enqueued for the survivors.
+    """
+
+
 class ProtocolError(PDTLError):
     """Raised when the master/worker protocol receives an unexpected message."""

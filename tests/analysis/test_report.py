@@ -7,9 +7,12 @@ import pytest
 from repro.analysis.report import (
     format_seconds_cell,
     format_table,
+    load_imbalance_table,
     paper_vs_measured,
     speedup_table,
 )
+from repro.cluster.metrics import ClusterMetrics
+from repro.externalmem.iostats import IOStats
 from repro.utils import format_seconds, parse_duration
 
 
@@ -81,3 +84,27 @@ class TestPaperVsMeasured:
         text = paper_vs_measured(rows, title="Comparison")
         assert "Table II / Twitter" in text
         assert "paper" in text and "measured" in text
+
+
+class TestLoadImbalanceTable:
+    def _metrics(self) -> ClusterMetrics:
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(
+            3.0, 0.0, 0, IOStats(), chunks_completed=4, chunks_stolen=1
+        )
+        metrics.node(1).add_worker(
+            1.0, 0.0, 0, IOStats(), chunks_completed=2, chunks_retried=1
+        )
+        return metrics
+
+    def test_renders_per_node_and_cluster_rows(self):
+        text = load_imbalance_table(self._metrics(), title="Imbalance")
+        lines = text.splitlines()
+        assert lines[0] == "Imbalance"
+        assert "stolen" in lines[1] and "retried" in lines[1]
+        assert "cluster" in lines[-1]
+
+    def test_cluster_row_carries_imbalance_ratio(self):
+        # worker calc times 3.0 and 1.0 -> max/mean = 1.5
+        text = load_imbalance_table(self._metrics())
+        assert "imbalance 1.50x" in text

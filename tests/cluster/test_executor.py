@@ -8,7 +8,7 @@ import time
 
 import pytest
 
-from repro.cluster.executor import ExecutionBackend, run_jobs
+from repro.cluster.executor import ExecutionBackend, run_jobs, run_task_queue
 
 
 def _square(x):
@@ -50,7 +50,7 @@ class TestThreadBackend:
             barrier.wait()  # deadlocks unless all three run concurrently
             return threading.get_ident()
 
-        results = run_jobs([job, job, job], backend="threads")
+        results = run_jobs([job, job, job], backend="threads", max_workers=3)
         assert len(results) == 3
 
     def test_single_job_runs_inline(self):
@@ -91,3 +91,97 @@ class TestBackendSelection:
 
         run_jobs([job] * 6, backend="threads", max_workers=2)
         assert peak[0] <= 2
+
+
+class TestDefaultWorkerCap:
+    """Regression: ``max_workers or len(jobs)`` used to spawn one OS thread
+    (or process) per job, even for hundreds of jobs; the default crew is now
+    capped at the host's CPU count."""
+
+    def _measure_peak(self, num_jobs: int) -> int:
+        active = []
+        lock = threading.Lock()
+        peak = [0]
+
+        def job():
+            with lock:
+                active.append(1)
+                peak[0] = max(peak[0], len(active))
+            time.sleep(0.005)
+            with lock:
+                active.pop()
+            return True
+
+        run_jobs([job] * num_jobs, backend="threads")
+        return peak[0]
+
+    def test_default_thread_crew_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert self._measure_peak(40) <= 2
+
+    def test_cap_survives_unknown_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert self._measure_peak(10) <= 1
+
+    def test_explicit_max_workers_still_wins(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        barrier = threading.Barrier(3, timeout=5)
+
+        def job():
+            barrier.wait()
+            return True
+
+        # three concurrent workers despite the 1-CPU host: explicit cap rules
+        assert run_jobs([job] * 3, backend="threads", max_workers=3) == [True] * 3
+
+
+class TestRunTaskQueue:
+    def test_results_in_task_order(self):
+        tasks = list(range(8))
+        assert run_task_queue(tasks, lambda x: x * x, backend="serial") == [
+            x * x for x in tasks
+        ]
+
+    def test_threads_pull_until_drained(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 3)
+        tasks = list(range(50))
+        results = run_task_queue(tasks, lambda x: x + 1, backend="threads")
+        assert results == [x + 1 for x in tasks]
+
+    def test_straggler_does_not_block_other_workers(self):
+        order = []
+        lock = threading.Lock()
+
+        def work(task):
+            if task == 0:
+                time.sleep(0.1)  # straggling task
+            with lock:
+                order.append(task)
+            return task
+
+        results = run_task_queue(
+            [0, 1, 2, 3, 4], work, backend="threads", max_workers=2
+        )
+        assert results == [0, 1, 2, 3, 4]
+        # everything else finished while the straggler slept
+        assert order[-1] == 0
+
+    def test_processes_backend_requires_picklable_and_works(self):
+        results = run_task_queue([1, 2, 3], _double, backend="processes", max_workers=2)
+        assert results == [2, 4, 6]
+
+    def test_exceptions_propagate(self):
+        def boom(task):
+            if task == 2:
+                raise RuntimeError("task 2 failed")
+            return task
+
+        with pytest.raises(RuntimeError):
+            run_task_queue([0, 1, 2, 3], boom, backend="threads", max_workers=2)
+
+    def test_empty_tasks(self):
+        assert run_task_queue([], lambda x: x, backend="threads") == []
+
+
+def _double(x):
+    return 2 * x

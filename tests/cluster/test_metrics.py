@@ -91,3 +91,55 @@ class TestClusterMetrics:
         rows = metrics.as_rows()
         assert len(rows) == 2
         assert rows[1]["node"] == 1
+
+
+class TestChunkAccounting:
+    def test_chunk_counters_accumulate(self):
+        node = NodeMetrics(node_index=0)
+        node.add_worker(1.0, 0.0, 0, make_io(), chunks_completed=3, chunks_stolen=1)
+        node.add_worker(1.0, 0.0, 0, make_io(), chunks_completed=2, chunks_retried=1)
+        assert node.chunks_completed == 5
+        assert node.chunks_stolen == 1
+        assert node.chunks_retried == 1
+        assert node.as_dict()["chunks_completed"] == 5
+
+    def test_static_defaults_count_one_unit_per_worker(self):
+        node = NodeMetrics(node_index=0)
+        node.add_worker(1.0, 0.0, 0, make_io())
+        assert node.chunks_completed == 1
+        assert node.chunks_stolen == 0
+
+    def test_cluster_chunk_totals(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(1.0, 0.0, 0, make_io(), chunks_completed=4)
+        metrics.node(1).add_worker(
+            1.0, 0.0, 0, make_io(), chunks_completed=2, chunks_stolen=2, chunks_retried=1
+        )
+        assert metrics.total_chunks_completed == 6
+        assert metrics.total_chunks_stolen == 2
+        assert metrics.total_chunks_retried == 1
+
+    def test_worker_imbalance_is_max_over_mean(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(3.0, 0.0, 0, make_io())
+        metrics.node(0).add_worker(1.0, 0.0, 0, make_io())
+        metrics.node(1).add_worker(2.0, 0.0, 0, make_io())
+        # workers: 3.0, 1.0, 2.0 -> max 3.0 / mean 2.0
+        assert metrics.worker_imbalance() == pytest.approx(1.5)
+
+    def test_worker_imbalance_degenerate_cases(self):
+        assert ClusterMetrics().worker_imbalance() == 1.0
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(0.0, 0.0, 0, make_io())
+        assert metrics.worker_imbalance() == 1.0
+
+    def test_failed_workers_excluded_from_imbalance_sample(self):
+        metrics = ClusterMetrics()
+        metrics.node(0).add_worker(2.0, 0.0, 0, make_io())
+        metrics.node(0).add_worker(2.0, 0.0, 0, make_io())
+        # a killed worker's near-zero time must not deflate the mean
+        metrics.node(1).add_worker(0.0, 0.0, 0, make_io(), failed=True)
+        assert metrics.worker_imbalance() == pytest.approx(1.0)
+        # but an idle-yet-alive worker is genuine imbalance
+        metrics.node(1).add_worker(0.0, 0.0, 0, make_io())
+        assert metrics.worker_imbalance() == pytest.approx(1.5)

@@ -1,0 +1,92 @@
+"""Golden-count regression fixtures.
+
+Seeded generator graphs with their exact triangle counts *hardcoded*:
+unlike the reference-based tests (which would silently follow a buggy
+reference), these pin the answers, so any refactor that changes a count --
+in the in-memory baseline, single-core MGT, or either PDTL scheduling mode
+-- fails loudly.  ``complete_graph(12)`` has C(12,3) = 220 triangles and a
+star has none, so two of the five fixtures are also analytically checkable
+by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.inmemory import forward_count
+from repro.core.config import PDTLConfig
+from repro.core.mgt import mgt_count
+from repro.core.orientation import orient_graph
+from repro.core.pdtl import PDTLRunner
+from repro.externalmem.blockio import BlockDevice
+from repro.graph.binfmt import write_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    power_law_degree_graph,
+    relabel_by_degree,
+)
+
+
+def _star(n: int) -> EdgeList:
+    edges = np.array([(0, i) for i in range(1, n)], dtype=np.int64)
+    return EdgeList(edges, n)
+
+
+#: name -> (generator thunk, exact triangle count).  The counts were computed
+#: once with the in-memory reference and are now frozen; regenerate only if a
+#: generator's sampling intentionally changes.
+GOLDEN = {
+    "power_law": (
+        lambda: power_law_degree_graph(
+            500, exponent=2.2, min_degree=2, max_degree=60, seed=11
+        ),
+        239,
+    ),
+    "power_law_hubs_first": (
+        lambda: relabel_by_degree(
+            power_law_degree_graph(500, exponent=2.2, min_degree=2, max_degree=60, seed=11)
+        ),
+        239,  # relabelling must never change the count
+    ),
+    "erdos_renyi": (lambda: erdos_renyi(200, p=0.05, seed=7), 155),
+    "complete_k12": (lambda: complete_graph(12), 220),  # C(12, 3)
+    "star_40": (lambda: _star(40), 0),  # stars are triangle-free
+}
+
+
+@pytest.fixture(params=sorted(GOLDEN))
+def golden_case(request) -> tuple[str, CSRGraph, int]:
+    name = request.param
+    thunk, count = GOLDEN[name]
+    return name, CSRGraph.from_edgelist(thunk()), count
+
+
+def test_in_memory_baseline_matches_golden(golden_case):
+    name, graph, count = golden_case
+    assert forward_count(graph) == count, name
+
+
+def test_single_core_mgt_matches_golden(golden_case, tmp_path):
+    name, graph, count = golden_case
+    device = BlockDevice(tmp_path / "disk", block_size=512)
+    oriented = orient_graph(write_graph(device, "g", graph)).oriented
+    config = PDTLConfig(memory_per_proc=4096, block_size=512)
+    assert mgt_count(oriented, config).triangles == count, name
+
+
+@pytest.mark.parametrize("scheduling", ("static", "dynamic"))
+def test_pdtl_matches_golden(golden_case, scheduling):
+    name, graph, count = golden_case
+    config = PDTLConfig(
+        num_nodes=2,
+        procs_per_node=2,
+        memory_per_proc=16384,
+        block_size=512,
+        scheduling=scheduling,
+    )
+    result = PDTLRunner(config).run(graph)
+    assert result.triangles == count, name

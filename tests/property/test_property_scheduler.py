@@ -1,0 +1,135 @@
+"""Property-style sweeps for the dynamic chunk scheduler.
+
+Two invariants, probed over randomised inputs:
+
+* **coverage** -- chunking any ``(num_edges, chunk_edges)`` pair tiles
+  ``[0, num_edges)`` exactly once, and any schedule (random costs, random
+  stragglers, random failures) completes every chunk exactly once;
+* **exactness** -- a dynamic PDTL run under random steal orders and
+  injected worker failures reports the same triangle count as single-core
+  MGT over the same oriented file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PDTLConfig
+from repro.core.mgt import mgt_count
+from repro.core.orientation import orient_graph
+from repro.core.pdtl import PDTLRunner
+from repro.core.scheduler import (
+    DynamicScheduler,
+    chunks_cover_exactly,
+    make_chunks,
+)
+from repro.externalmem.blockio import BlockDevice
+from repro.graph.binfmt import write_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+
+def random_small_graph(seed: int, max_vertices: int = 40, edge_prob: float = 0.2) -> CSRGraph:
+    """Deterministic small random graph (mirrors the fixture in tests/conftest.py)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, max_vertices))
+    iu, iv = np.triu_indices(n, k=1)
+    keep = rng.random(iu.shape[0]) < edge_prob
+    edges = np.stack([iu[keep], iv[keep]], axis=1)
+    return CSRGraph.from_edgelist(EdgeList(edges, n))
+
+
+class TestChunkCoverage:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_sizes_cover_exactly_once(self, seed):
+        rng = np.random.default_rng(seed)
+        num_edges = int(rng.integers(0, 10_000))
+        chunk_edges = int(rng.integers(1, 1_500))
+        chunks = make_chunks(num_edges, chunk_edges)
+        assert chunks_cover_exactly(chunks, num_edges)
+        # no overlap and no gap, stated directly as well
+        positions_covered = sum(c.num_edges for c in chunks)
+        assert positions_covered == num_edges
+        for first, second in zip(chunks, chunks[1:]):
+            assert first.stop == second.start
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_schedules_complete_every_chunk_once(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        num_chunks = int(rng.integers(1, 60))
+        num_workers = int(rng.integers(1, 9))
+        chunks = make_chunks(num_chunks, 1)
+        costs = rng.random(num_chunks).tolist()
+        # random stragglers, and random failures on a strict subset of workers
+        stragglers = {
+            int(w): float(f)
+            for w, f in zip(
+                rng.choice(num_workers, size=num_workers // 2, replace=False),
+                1.0 + 4.0 * rng.random(num_workers // 2),
+            )
+        }
+        doomed = rng.choice(
+            num_workers, size=int(rng.integers(0, num_workers)), replace=False
+        )
+        failures = {int(w): int(rng.integers(0, 4)) for w in doomed}
+        schedule = DynamicScheduler(
+            chunks,
+            num_workers=num_workers,
+            failure_after=failures,
+            straggler_factors=stragglers,
+        ).schedule(costs)
+        completed = sorted(i for a in schedule.assignments for i in a)
+        assert completed == list(range(num_chunks))
+        # a retried chunk still appears exactly once, on a surviving worker
+        for worker in schedule.failed_workers:
+            for index in schedule.retried[worker]:
+                raise AssertionError(f"dead worker {worker} retried chunk {index}")
+
+
+class TestDynamicCountExactness:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_graphs_match_single_core_mgt(self, seed, tmp_path):
+        graph = random_small_graph(seed, max_vertices=60, edge_prob=0.25)
+        device = BlockDevice(tmp_path / "disk", block_size=512)
+        oriented = orient_graph(write_graph(device, "g", graph)).oriented
+
+        config = PDTLConfig(memory_per_proc=2048, block_size=512)
+        expected = mgt_count(oriented, config).triangles
+
+        rng = np.random.default_rng(1000 + seed)
+        num_workers = int(rng.integers(2, 7))
+        doomed = rng.choice(
+            num_workers, size=int(rng.integers(0, num_workers)), replace=False
+        )
+        failures = {int(w): int(rng.integers(0, 3)) for w in doomed}
+        run_config = PDTLConfig(
+            num_nodes=1,
+            procs_per_node=num_workers,
+            memory_per_proc=2048,
+            block_size=512,
+            scheduling="dynamic",
+            failure_spec=failures,
+        )
+        result = PDTLRunner(run_config).run(graph)
+        assert result.triangles == expected
+        if failures:
+            assert len([w for w in result.workers if w.failed]) <= len(failures)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_per_vertex_counts_survive_failures(self, seed, tmp_path):
+        from repro.baselines.inmemory import per_vertex_triangle_counts
+
+        graph = random_small_graph(200 + seed, max_vertices=50, edge_prob=0.3)
+        config = PDTLConfig(
+            num_nodes=2,
+            procs_per_node=2,
+            memory_per_proc=2048,
+            block_size=512,
+            scheduling="dynamic",
+            failure_spec={1: 1},
+        )
+        result = PDTLRunner(config).run(graph, sink_kind="per-vertex")
+        np.testing.assert_array_equal(
+            result.per_vertex_counts, per_vertex_triangle_counts(graph)
+        )

@@ -1,0 +1,181 @@
+"""Microbenchmarks of the vectorised hot paths, tracked in ``BENCH_pdtl.json``.
+
+Four microbenchmarks, mirroring the layers the vectorisation PR touched:
+
+* **extsort** -- external merge sort of the workload's (shuffled) edge
+  file under a 64 KB cap: the buffered numpy merge vs the per-edge
+  ``heapq`` merge it replaced, on identical run/pass structure and
+  identical I/O.  The headline metric is the merge-phase speedup (run
+  formation is an unchanged numpy ``lexsort`` shared by both paths).
+* **baseline counting** -- the shared-kernel compact-forward count vs the
+  pre-refactor per-vertex Python loops.
+* **mgt counting** -- single-core MGT throughput over the on-disk graph,
+  with and without the adjacency read-ahead buffer (I/O accounting must be
+  identical; only wall clock may differ).
+* **orientation** -- the master's preprocessing step, for trajectory
+  tracking.
+
+Every benchmark asserts exact count equality against the serial reference;
+the ≥10x / ≥5x speedup floors are asserted only in full mode (the CI
+perf-smoke job runs quick mode, where timings on shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import (
+    BASELINE_MIN_SPEEDUP,
+    EXTSORT_MIN_SPEEDUP,
+    QUICK,
+    REPEATS,
+    best_of,
+)
+
+from repro.baselines.inmemory import forward_count
+from repro.baselines.reference_impl import forward_count_scalar
+from repro.core.config import PDTLConfig
+from repro.core.mgt import mgt_count
+from repro.core.orientation import orient_graph
+from repro.externalmem.blockio import BlockDevice
+from repro.externalmem.extsort import external_sort_edges, read_edge_file, write_edge_file
+from repro.graph.binfmt import write_graph
+
+_EXTSORT_MEMORY = 64 * 1024
+#: fixed merge fan-in: pins the run/pass structure of the tracked workload
+#: so the trajectory in BENCH_pdtl.json stays comparable across machines
+#: (the derived fan-in depends on the device block size)
+_EXTSORT_FAN_IN = 8
+_MGT_MEMORY = 256 * 1024
+_BLOCK = 4096
+
+
+@pytest.fixture(scope="module")
+def reference_count(perf_graph) -> int:
+    return forward_count_scalar(perf_graph)
+
+
+def test_extsort_throughput(perf_graph, perf_report, tmp_path_factory):
+    # the oriented edge file (one record per undirected edge) in random
+    # order -- the exact shape the preprocessing pipeline sorts
+    from repro.core.orientation import orient_csr
+
+    rng = np.random.default_rng(11)
+    edges = orient_csr(perf_graph).edge_array()
+    edges = edges[rng.permutation(edges.shape[0])]
+    expected = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+
+    results = {}
+    # min-of-5 in full mode: the merge-phase ratio is asserted against a
+    # hard floor, so this benchmark gets extra repetitions to shrug off
+    # transient host load
+    repeats = REPEATS if QUICK else max(REPEATS, 5)
+    for impl in ("heapq", "vectorized"):
+        best = None
+        for _ in range(repeats):
+            device = BlockDevice(
+                tmp_path_factory.mktemp(f"extsort_{impl}"), block_size=_BLOCK
+            )
+            write_edge_file(device, "in.bin", edges)
+            outcome = external_sort_edges(
+                device, "in.bin", "out.bin", memory_bytes=_EXTSORT_MEMORY,
+                fan_in=_EXTSORT_FAN_IN, merge_impl=impl,
+            )
+            np.testing.assert_array_equal(read_edge_file(device, "out.bin"), expected)
+            if best is None or outcome.merge_seconds < best.merge_seconds:
+                best = outcome
+        results[impl] = best
+
+    heap, vec = results["heapq"], results["vectorized"]
+    assert (heap.num_runs, heap.merge_passes) == (vec.num_runs, vec.merge_passes)
+    merge_speedup = heap.merge_seconds / vec.merge_seconds
+    total_heap = heap.formation_seconds + heap.merge_seconds
+    total_vec = vec.formation_seconds + vec.merge_seconds
+    perf_report.record(
+        "extsort",
+        edges=int(edges.shape[0]),
+        memory_bytes=_EXTSORT_MEMORY,
+        num_runs=vec.num_runs,
+        merge_passes=vec.merge_passes,
+        fan_in=vec.fan_in,
+        heapq_merge_s=heap.merge_seconds,
+        vectorized_merge_s=vec.merge_seconds,
+        merge_speedup=merge_speedup,
+        heapq_total_s=total_heap,
+        vectorized_total_s=total_vec,
+        total_speedup=total_heap / total_vec,
+        vectorized_edges_per_s=edges.shape[0] / total_vec,
+    )
+    if not QUICK:
+        assert merge_speedup >= EXTSORT_MIN_SPEEDUP, (
+            f"extsort merge speedup {merge_speedup:.1f}x below the "
+            f"{EXTSORT_MIN_SPEEDUP}x floor"
+        )
+
+
+def test_baseline_counting_throughput(perf_graph, perf_report, reference_count):
+    scalar_s, scalar_count = best_of(lambda: forward_count_scalar(perf_graph))
+    vector_s, vector_count = best_of(lambda: forward_count(perf_graph))
+    assert scalar_count == vector_count == reference_count
+    speedup = scalar_s / vector_s
+    perf_report.record(
+        "baseline_counting",
+        triangles=int(vector_count),
+        scalar_s=scalar_s,
+        vectorized_s=vector_s,
+        speedup=speedup,
+        edges_per_s=perf_graph.num_undirected_edges / vector_s,
+    )
+    if not QUICK:
+        assert speedup >= BASELINE_MIN_SPEEDUP, (
+            f"baseline counting speedup {speedup:.1f}x below the "
+            f"{BASELINE_MIN_SPEEDUP}x floor"
+        )
+
+
+def test_mgt_counting_throughput(perf_graph, perf_report, reference_count, tmp_path_factory):
+    device = BlockDevice(tmp_path_factory.mktemp("mgt"), block_size=_BLOCK)
+    oriented = orient_graph(write_graph(device, "g", perf_graph)).oriented
+
+    outcomes = {}
+    for label, readahead in (("plain", 0), ("readahead", 1 << 20)):
+        config = PDTLConfig(
+            memory_per_proc=_MGT_MEMORY, block_size=_BLOCK, readahead_bytes=readahead
+        )
+        wall, result = best_of(lambda: mgt_count(oriented, config))
+        assert result.triangles == reference_count
+        outcomes[label] = (wall, result)
+
+    plain_wall, plain = outcomes["plain"]
+    ra_wall, ra = outcomes["readahead"]
+    # the read-ahead buffer must be invisible to the accounting
+    assert plain.io_stats.as_dict() == ra.io_stats.as_dict()
+    perf_report.record(
+        "mgt_counting",
+        triangles=int(plain.triangles),
+        memory_bytes=_MGT_MEMORY,
+        iterations=plain.iterations,
+        wall_s=plain_wall,
+        readahead_wall_s=ra_wall,
+        edges_per_s=oriented.num_edges / plain_wall,
+        modelled_io_s=plain.io_seconds,
+    )
+
+
+def test_orientation_throughput(perf_graph, perf_report, tmp_path_factory):
+    walls = []
+    for i in range(REPEATS):
+        device = BlockDevice(tmp_path_factory.mktemp(f"orient{i}"), block_size=_BLOCK)
+        source = write_graph(device, "g", perf_graph)
+        wall, orientation = best_of(
+            lambda: orient_graph(source, num_workers=1, parallel=False), repeats=1
+        )
+        assert orientation.oriented.num_edges == perf_graph.num_undirected_edges
+        walls.append(wall)
+    best = min(walls)
+    perf_report.record(
+        "orientation",
+        wall_s=best,
+        edges_per_s=perf_graph.num_edges / best,
+    )

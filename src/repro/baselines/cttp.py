@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.orientation import orient_csr
 from repro.graph.csr import CSRGraph
 from repro.utils import Timer
@@ -62,18 +63,26 @@ def run_cttp(graph: CSRGraph, num_reducers: int = 4) -> CTTPResult:
     indptr, indices = oriented.indptr, oriented.indices
 
     # ---- round 1: emit wedges -----------------------------------------------------
+    # Vertices are grouped by out-degree so each group's out-lists stack
+    # into one rectangular matrix and a single ``triu_indices`` fan-out
+    # emits every wedge of the group -- one numpy call per distinct degree
+    # instead of one Python iteration per vertex.
     map_timer = Timer().start()
+    degrees = np.diff(indptr).astype(np.int64)
     wedge_v: list[np.ndarray] = []
     wedge_w: list[np.ndarray] = []
-    for u in range(oriented.num_vertices):
-        out_u = indices[indptr[u] : indptr[u + 1]]
-        d = out_u.shape[0]
+    for d in np.unique(degrees):
+        d = int(d)
         if d < 2:
             continue
-        # all ordered pairs (v, w) with v before w in the sorted out-list
+        vertices = np.nonzero(degrees == d)[0]
+        lists, _ = kernels.segment_gather(
+            indices, indptr[vertices], np.full(vertices.shape[0], d, dtype=np.int64)
+        )
+        matrix = lists.reshape(vertices.shape[0], d)
         iu, iw = np.triu_indices(d, k=1)
-        wedge_v.append(out_u[iu])
-        wedge_w.append(out_u[iw])
+        wedge_v.append(matrix[:, iu].reshape(-1))
+        wedge_w.append(matrix[:, iw].reshape(-1))
     if wedge_v:
         all_v = np.concatenate(wedge_v)
         all_w = np.concatenate(wedge_w)
@@ -87,26 +96,23 @@ def run_cttp(graph: CSRGraph, num_reducers: int = 4) -> CTTPResult:
     # ---- round 2: join wedges against the edge set -----------------------------------
     reduce_timer = Timer().start()
     # partition wedges across reducers by hash of the closing edge, then each
-    # reducer probes the oriented adjacency for (v, w)
+    # reducer probes the oriented adjacency for (v, w) -- all of its wedges
+    # in one packed-key membership batch.  The closing edge is stored once
+    # in G*, oriented from the ≺-smaller endpoint, so both directions are
+    # probed.
     total = 0
     if num_wedges:
+        n = oriented.num_vertices
+        edge_keys = kernels.csr_packed_keys(indptr, indices)
         reducer_of = (all_v * 1000003 + all_w) % num_reducers
         for r in range(num_reducers):
             mask = reducer_of == r
             vs = all_v[mask]
             ws = all_w[mask]
-            for v, w in zip(vs, ws):
-                # the closing edge is stored once in G*, oriented from the
-                # ≺-smaller endpoint, so probe both directions
-                out_v = indices[indptr[v] : indptr[v + 1]]
-                pos = int(np.searchsorted(out_v, w))
-                if pos < out_v.shape[0] and int(out_v[pos]) == int(w):
-                    total += 1
-                    continue
-                out_w = indices[indptr[w] : indptr[w + 1]]
-                pos = int(np.searchsorted(out_w, v))
-                if pos < out_w.shape[0] and int(out_w[pos]) == int(v):
-                    total += 1
+            closed = kernels.sorted_membership(
+                edge_keys, kernels.packed_keys(vs, ws, n)
+            ) | kernels.sorted_membership(edge_keys, kernels.packed_keys(ws, vs, n))
+            total += int(np.count_nonzero(closed))
     reduce_timer.stop()
 
     return CTTPResult(

@@ -16,8 +16,13 @@ The re-implementation keeps that two-phase structure:
   index -- strictly more work than PDTL's filter-only orientation, which is
   what makes it slower in the same proportion;
 * **calculation** splits the oriented edge set across ``num_threads``
-  workers and counts with the same sorted-intersection kernel the other
-  baselines use (exact counts).
+  workers, streams the on-disk database back through the block layer (OPT
+  is a disk-based system: every run re-reads the database with overlapped
+  I/O) and counts with the same sorted-intersection kernel the other
+  baselines use (exact counts).  ``calc_seconds`` is the measured compute
+  time plus the *modelled* device time of the database scan -- the same
+  cpu-plus-modelled-I/O convention PDTL's ``calc_seconds`` uses, so the
+  Table V / Figure 12 comparisons stay like for like.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.orientation import orient_csr
 from repro.externalmem.blockio import BlockDevice
 from repro.graph.csr import CSRGraph
@@ -111,28 +117,32 @@ def run_opt(
 
         # ---- phase 2: overlapped calculation ----------------------------------------
         calc_timer = Timer().start()
+        device_seconds_before = device.stats.device_seconds
         oriented = orient_csr(graph)
         indptr, indices = oriented.indptr, oriented.indices
         ranges = chunk_ranges(oriented.num_vertices, num_threads)
+        db_items = db_file.num_items()
+        db_chunk = max(parse_size(memory) // (8 * max(num_threads, 1)), 1024)
+        db_offset = 0
         total = 0
         for lo, hi in ranges:
-            for u in range(lo, hi):
-                out_u = indices[indptr[u] : indptr[u + 1]]
-                if out_u.shape[0] == 0:
-                    continue
-                for v in out_u:
-                    out_v = indices[indptr[v] : indptr[v + 1]]
-                    if out_v.shape[0] == 0:
-                        continue
-                    pos = np.searchsorted(out_u, out_v)
-                    pos = np.minimum(pos, out_u.shape[0] - 1)
-                    total += int(np.count_nonzero(out_u[pos] == out_v))
+            # stream this worker's share of the on-disk database (the input
+            # of the real system's calculation phase) through the block
+            # layer, so the scan's I/O is charged like every other system's
+            share = db_items // num_threads if num_threads else db_items
+            share_end = db_items if hi == oriented.num_vertices else db_offset + share
+            while db_offset < share_end:
+                count = min(db_chunk, share_end - db_offset)
+                db_file.read_array(db_offset, count)
+                db_offset += count
+            total += kernels.count_cone_range(indptr, indices, lo, hi)
         calc_timer.stop()
+        calc_io_seconds = device.stats.device_seconds - device_seconds_before
 
         return OPTResult(
             triangles=total,
             database_seconds=db_timer.elapsed,
-            calc_seconds=calc_timer.elapsed,
+            calc_seconds=calc_timer.elapsed + calc_io_seconds,
             num_threads=num_threads,
             database_bytes=database_bytes,
         )

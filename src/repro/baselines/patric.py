@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.orientation import orient_csr
 from repro.errors import OutOfMemoryError
 from repro.externalmem.memory import MemoryBudget
@@ -118,21 +119,13 @@ def run_patric(
             message_bytes=message_bytes,
         )
 
-    # --- local counting: each rank counts triangles whose cone vertex is core
+    # --- local counting: each rank counts triangles whose cone vertex is core,
+    # whole core ranges per kernel call (the rank's surrogate region holds
+    # every N⁺(v) the gather touches, so the counting stays partition-local)
     calc_timer = Timer().start()
     total = 0
     for lo, hi in partitions:
-        for u in range(lo, hi):
-            out_u = indices[indptr[u] : indptr[u + 1]]
-            if out_u.shape[0] == 0:
-                continue
-            for v in out_u:
-                out_v = indices[indptr[v] : indptr[v + 1]]
-                if out_v.shape[0] == 0:
-                    continue
-                pos = np.searchsorted(out_u, out_v)
-                pos = np.minimum(pos, out_u.shape[0] - 1)
-                total += int(np.count_nonzero(out_u[pos] == out_v))
+        total += kernels.count_cone_range(indptr, indices, lo, hi)
     calc_timer.stop()
 
     return PatricResult(

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.orientation import orient_csr
 from repro.errors import OutOfMemoryError
 from repro.externalmem.memory import MemoryBudget
@@ -143,19 +144,20 @@ def run_powergraph(
 
     # --- gather/apply: for every oriented local edge (u, v), count the
     # intersection of the two out-neighbour lists (exact, like the real
-    # triangle_count vertex program over an oriented graph).
+    # triangle_count vertex program over an oriented graph).  A machine's
+    # vertex-cut edges are not a contiguous cone range, so membership is
+    # probed against the packed keys of the whole oriented graph, one
+    # kernel call per machine instead of one Python iteration per edge.
     calc_timer = Timer().start()
     indptr, indices = oriented.indptr, oriented.indices
+    csr_keys = kernels.csr_packed_keys(indptr, indices)
     total = 0
     for local_edges in per_machine_edges:
-        for u, v in local_edges:
-            out_u = indices[indptr[u] : indptr[u + 1]]
-            out_v = indices[indptr[v] : indptr[v + 1]]
-            if out_u.shape[0] == 0 or out_v.shape[0] == 0:
-                continue
-            pos = np.searchsorted(out_u, out_v)
-            pos = np.minimum(pos, out_u.shape[0] - 1)
-            total += int(np.count_nonzero(out_u[pos] == out_v))
+        if local_edges.shape[0] == 0:
+            continue
+        total += kernels.edge_intersections(
+            indptr, indices, local_edges[:, 0], local_edges[:, 1], csr_keys=csr_keys
+        )
     calc_timer.stop()
 
     return PowerGraphResult(

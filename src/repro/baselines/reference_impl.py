@@ -1,0 +1,71 @@
+"""Pre-vectorisation reference implementations, kept for equivalence testing.
+
+When the per-vertex Python loops of the baselines were rewritten onto
+:mod:`repro.core.kernels`, the original interpreted loops moved here
+verbatim.  They are deliberately *slow* -- one Python bytecode dispatch per
+adjacency entry -- which makes them useful twice over:
+
+* the golden equivalence suite and the CI perf-smoke job pin every
+  vectorised path against them (any count divergence fails loudly);
+* the ``benchmarks/perf`` harness times them as the "before" leg of the
+  before/after speedup tables recorded in ``BENCH_pdtl.json``.
+
+Nothing in the library's production paths calls these functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.orientation import orient_csr
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "count_cone_range_scalar",
+    "forward_count_scalar",
+    "edge_intersections_scalar",
+]
+
+
+def count_cone_range_scalar(
+    indptr: np.ndarray, indices: np.ndarray, lo: int, hi: int
+) -> int:
+    """The original per-vertex counting loop: ``Σ |N⁺(u) ∩ N⁺(v)|`` for
+    ``u ∈ [lo, hi)``, ``v ∈ N⁺(u)``, one ``searchsorted`` per pair."""
+    total = 0
+    for u in range(lo, hi):
+        out_u = indices[indptr[u] : indptr[u + 1]]
+        if out_u.shape[0] == 0:
+            continue
+        for v in out_u:
+            out_v = indices[indptr[v] : indptr[v + 1]]
+            if out_v.shape[0] == 0:
+                continue
+            pos = np.searchsorted(out_u, out_v)
+            pos = np.minimum(pos, out_u.shape[0] - 1)
+            total += int(np.count_nonzero(out_u[pos] == out_v))
+    return total
+
+
+def forward_count_scalar(graph: CSRGraph) -> int:
+    """The pre-refactor compact-forward triangle count (scalar outer loops)."""
+    oriented = graph if graph.directed else orient_csr(graph)
+    return count_cone_range_scalar(
+        oriented.indptr, oriented.indices, 0, oriented.num_vertices
+    )
+
+
+def edge_intersections_scalar(
+    indptr: np.ndarray, indices: np.ndarray, us: np.ndarray, vs: np.ndarray
+) -> int:
+    """The original per-edge intersection loop (PowerGraph's gather/apply)."""
+    total = 0
+    for u, v in zip(us, vs):
+        out_u = indices[indptr[u] : indptr[u + 1]]
+        out_v = indices[indptr[v] : indptr[v + 1]]
+        if out_u.shape[0] == 0 or out_v.shape[0] == 0:
+            continue
+        pos = np.searchsorted(out_u, out_v)
+        pos = np.minimum(pos, out_u.shape[0] - 1)
+        total += int(np.count_nonzero(out_u[pos] == out_v))
+    return total

@@ -15,6 +15,10 @@ Modules
 ``load_balance``
     Naive equal-edge splits and the in-degree-balanced splits of the
     load-balancing step (evaluated in Figure 9).
+``kernels``
+    The shared vectorised sorted-intersection kernels (packed-key
+    membership, segment gather, galloping merge) used by the MGT inner
+    loop, the in-memory baselines and the external sort alike.
 ``mgt``
     The modified Massive Graph Triangulation algorithm (Algorithm 2),
     operating over the binary on-disk format with a strict memory budget.

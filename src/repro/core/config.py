@@ -80,6 +80,14 @@ class PDTLConfig:
         work) instead of the measured thread CPU time.  This makes
         ``calc_seconds`` bit-identical across execution backends and hosts --
         the property the cross-backend equivalence suite asserts.
+    readahead_bytes:
+        when positive, each MGT worker scans the adjacency file through a
+        private aligned read-ahead buffer of this size (see
+        :meth:`repro.graph.binfmt.GraphFile.set_readahead`).  Purely a
+        host-side wall-clock optimisation: it sits below the accounting
+        layer, so :class:`~repro.externalmem.iostats.IOStats` block counts
+        and modelled device seconds are bit-identical with it on or off.
+        Accepts human-readable sizes (``"1MB"``); ``0`` disables.
     """
 
     num_nodes: int = 1
@@ -96,10 +104,14 @@ class PDTLConfig:
     chunk_edges: int | None = None
     failure_spec: tuple[tuple[int, int], ...] = ()
     modelled_cpu: bool = False
+    readahead_bytes: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
         object.__setattr__(self, "block_size", parse_size(self.block_size))
+        # parse_size rejects negative sizes (ValueError), matching how
+        # memory_per_proc and block_size are validated above
+        object.__setattr__(self, "readahead_bytes", parse_size(self.readahead_bytes))
         if self.num_nodes <= 0:
             raise ConfigurationError(f"num_nodes must be positive, got {self.num_nodes}")
         if self.procs_per_node <= 0:

@@ -33,6 +33,7 @@ import time
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.config import PDTLConfig
 from repro.core.triangles import CountingSink, TriangleSink
 from repro.errors import ConfigurationError
@@ -104,7 +105,13 @@ class MGTWorker:
     ) -> None:
         if not oriented.directed:
             raise ConfigurationError("MGTWorker requires an oriented graph file")
-        self.graph = oriented
+        # a private handle per worker: the read-ahead buffer must not be
+        # shared between concurrent scanners
+        self.graph = (
+            oriented.with_readahead(config.readahead_bytes)
+            if config.readahead_bytes
+            else oriented
+        )
         self.config = config
         self.range_start = int(range_start)
         self.range_stop = int(range_stop if range_stop is not None else oriented.num_edges)
@@ -286,11 +293,18 @@ class MGTWorker:
            the current memory window (these are exactly the ``N⁺(u)``
            memberships);
         2. gather the in-window out-lists ``E_v`` of all marked pairs into one
-           flat array, remembering which pair each element came from;
+           flat array (:func:`repro.core.kernels.segment_gather`);
         3. test membership ``w ∈ N(u)`` for all gathered elements with a
-           single binary search against the block's (sorted) ``(u, w)`` key
-           array -- the same sorted-array intersection the paper's modified
-           MGT performs, just batched.
+           single binary search against the block's (sorted) packed ``(u, w)``
+           key array (:func:`repro.core.kernels.sorted_membership`) -- the
+           same sorted-array intersection the paper's modified MGT performs,
+           just batched.
+
+        The gather/membership machinery is shared with the in-memory
+        baselines through :mod:`repro.core.kernels`; the only MGT-specific
+        part is that ``E_v`` segments come from the memory window ``edg``
+        addressed by ``win_offsets``/``win_degrees`` rather than from the
+        full adjacency.
 
         Returns ``(pairs, operations)``: the number of (cone, out-neighbour)
         pairs intersected -- the Σ|N⁺(u)| term of the CPU analysis -- and the
@@ -323,24 +337,16 @@ class MGTWorker:
         if total == 0:
             return num_pairs, scanned
         seg_starts = win_offsets[pair_v - vlow]
-        bounds = np.zeros(num_pairs + 1, dtype=np.int64)
-        np.cumsum(seg_lengths, out=bounds[1:])
-        flat_index = np.repeat(seg_starts - bounds[:-1], seg_lengths) + np.arange(
-            total, dtype=np.int64
-        )
-        ev_all = edg[flat_index]
-        pair_ids = np.repeat(np.arange(num_pairs, dtype=np.int64), seg_lengths)
+        ev_all, pair_ids = kernels.segment_gather(edg, seg_starts, seg_lengths)
 
         # step 3: membership w ∈ N(u) via one binary search on packed keys.
         # The block's adjacency is sorted by (source, destination), so the
         # packed keys are sorted and the query (u, w) hits exactly when the
         # edge (u, w) is present in the block.
         n = self.graph.num_vertices
-        block_keys = entry_sources * n + block_adj
-        query_keys = pair_u[pair_ids] * n + ev_all
-        pos = np.searchsorted(block_keys, query_keys)
-        pos[pos >= block_keys.shape[0]] = block_keys.shape[0] - 1
-        found = block_keys[pos] == query_keys
+        block_keys = kernels.packed_keys(entry_sources, block_adj, n)
+        query_keys = kernels.packed_keys(pair_u[pair_ids], ev_all, n)
+        found = kernels.sorted_membership(block_keys, query_keys)
         if found.any():
             cones = pair_u[pair_ids[found]] + first_vertex
             pivots_v = pair_v[pair_ids[found]]

@@ -13,6 +13,7 @@ from repro.core.triangles import (
     Triangle,
     make_sink,
 )
+from repro.utils import ceil_div
 
 
 class TestTriangle:
@@ -158,3 +159,53 @@ class TestMakeSink:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
             make_sink("bogus")
+
+
+class TestFileSinkBlockAlignedCharge:
+    """Buffered FileSink flushes must charge exactly the ideal T/B output I/O."""
+
+    def test_charge_equals_ideal_block_count(self, device):
+        # device block size is 512; the sink rounds its buffer to whole blocks
+        device.stats.reset()
+        sink = FileSink(device.open("triangles.bin"), buffer_triangles=100)
+        n = 10_000
+        ws = np.arange(2, 2 + n, dtype=np.int64)
+        sink.add_batch(0, 1, ws)
+        sink.flush()
+        total_bytes = n * 24
+        ideal_blocks = ceil_div(total_bytes, device.block_size)
+        assert device.stats.bytes_written == total_bytes
+        assert device.stats.blocks_written == ideal_blocks
+        assert sink.count == n
+
+    def test_interleaved_adds_still_aligned(self, device):
+        device.stats.reset()
+        sink = FileSink(device.open("triangles.bin"), buffer_triangles=64)
+        rng = np.random.default_rng(3)
+        total = 0
+        for _ in range(200):
+            k = int(rng.integers(1, 40))
+            sink.add_triples(
+                rng.integers(0, 50, k), rng.integers(0, 50, k), rng.integers(0, 50, k)
+            )
+            total += k
+        for i in range(37):
+            sink.add(i, i + 1, i + 2)
+            total += 1
+        sink.flush()
+        assert sink.count == total
+        assert device.stats.bytes_written == total * 24
+        assert device.stats.blocks_written == ceil_div(total * 24, device.block_size)
+
+    def test_large_batch_exceeding_buffer(self, device):
+        sink = FileSink(device.open("triangles.bin"), buffer_triangles=8)
+        n = 5_000
+        sink.add_triples(
+            np.arange(n, dtype=np.int64),
+            np.arange(n, dtype=np.int64) + 1,
+            np.arange(n, dtype=np.int64) + 2,
+        )
+        triangles = sink.read_all()
+        assert len(triangles) == n
+        assert triangles[0] == Triangle(0, 1, 2)
+        assert triangles[-1] == Triangle(n - 1, n, n + 1)

@@ -191,3 +191,127 @@ class TestDiskModel:
     def test_zero_bandwidth_means_free_transfer(self):
         model = DiskModel(bandwidth_bytes_per_s=0.0, seek_latency_s=0.0)
         assert model.transfer_time(1 << 20, True) == 0.0
+
+
+class TestReadahead:
+    """The aligned read-ahead buffer: same bytes, same accounting, fewer host reads."""
+
+    def _filled_file(self, tmp_path, n_items=5000, block_size=512):
+        dev = BlockDevice(tmp_path / "disk", block_size=block_size)
+        f = dev.open("data.bin")
+        data = np.arange(n_items, dtype=np.int64)
+        f.append_array(data)
+        return dev, f, data
+
+    def test_reads_identical_with_and_without_buffer(self, tmp_path):
+        dev, f, data = self._filled_file(tmp_path)
+        plain = dev.open("data.bin")
+        buffered = dev.open("data.bin")
+        buffered.set_readahead(2048)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            off = int(rng.integers(0, data.shape[0]))
+            count = int(rng.integers(0, data.shape[0] - off + 10))
+            np.testing.assert_array_equal(
+                buffered.read_array(off, min(count, data.shape[0] - off)),
+                plain.read_array(off, min(count, data.shape[0] - off)),
+            )
+
+    def test_read_spanning_many_windows(self, tmp_path):
+        dev, f, data = self._filled_file(tmp_path)
+        buffered = dev.open("data.bin")
+        buffered.set_readahead(512)  # one block window, read spans many
+        np.testing.assert_array_equal(buffered.read_array(3, 4000), data[3:4003])
+
+    def test_read_past_eof_truncates_like_plain_read(self, tmp_path):
+        dev, f, data = self._filled_file(tmp_path, n_items=100)
+        buffered = dev.open("data.bin")
+        buffered.set_readahead(4096)
+        raw = buffered.read_bytes(90 * 8, 1000)
+        assert len(raw) == 10 * 8
+        np.testing.assert_array_equal(np.frombuffer(raw, dtype=np.int64), data[90:])
+
+    def test_iostats_bit_identical(self, tmp_path):
+        stats = {}
+        for label, readahead in (("plain", 0), ("buffered", 1 << 14)):
+            dev = BlockDevice(tmp_path / label, block_size=512)
+            f = dev.open("data.bin")
+            f.append_array(np.arange(4096, dtype=np.int64))
+            dev.stats.reset()
+            reader = dev.open("data.bin")
+            if readahead:
+                reader.set_readahead(readahead)
+            offset = 0
+            while offset < 4096:
+                reader.read_array(offset, min(128, 4096 - offset))
+                offset += 128
+            stats[label] = dev.stats.as_dict()
+        assert stats["plain"] == stats["buffered"]
+
+    def test_write_through_handle_invalidates_buffer(self, tmp_path):
+        dev, f, data = self._filled_file(tmp_path, n_items=64)
+        buffered = dev.open("data.bin")
+        buffered.set_readahead(4096)
+        np.testing.assert_array_equal(buffered.read_array(0, 64), data)
+        new = np.arange(100, 164, dtype=np.int64)
+        buffered.write_array(new)
+        np.testing.assert_array_equal(buffered.read_array(0, 64), new)
+
+    def test_readahead_accepts_sizes_and_disables(self, tmp_path):
+        dev, f, data = self._filled_file(tmp_path)
+        g = dev.open("data.bin")
+        g.set_readahead("16k")
+        np.testing.assert_array_equal(g.read_array(0, 10), data[:10])
+        g.set_readahead(0)
+        np.testing.assert_array_equal(g.read_array(0, 10), data[:10])
+
+
+class TestFdCache:
+    """The raw-fd cache must be transparent and bounded."""
+
+    def test_reads_after_many_files(self, tmp_path):
+        from repro.externalmem import blockio
+
+        dev = BlockDevice(tmp_path)
+        many = blockio.MAX_CACHED_FDS + 20
+        for i in range(many):
+            dev.open(f"f{i}.bin").append_array(np.array([i], dtype=np.int64))
+        # every file readable even though early descriptors were evicted
+        for i in range(many):
+            assert int(dev.open(f"f{i}.bin").read_array(0, 1)[0]) == i
+        assert len(dev._fds) <= blockio.MAX_CACHED_FDS
+
+    def test_delete_then_recreate(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        f = dev.open("x.bin")
+        f.append_array(np.arange(4, dtype=np.int64))
+        dev.delete("x.bin")
+        assert not dev.exists("x.bin")
+        g = dev.open("x.bin")
+        assert g.num_items() == 0
+        g.append_array(np.array([7], dtype=np.int64))
+        assert int(dev.open("x.bin").read_array(0, 1)[0]) == 7
+
+    def test_device_close_idempotent(self, tmp_path):
+        dev = BlockDevice(tmp_path)
+        dev.open("a.bin").append_array(np.arange(3, dtype=np.int64))
+        dev.close()
+        dev.close()
+        # reads transparently reopen descriptors
+        assert dev.open("a.bin").num_items() == 3
+
+    def test_delete_while_descriptor_pinned(self, tmp_path):
+        import os
+
+        dev = BlockDevice(tmp_path)
+        f = dev.open("pinned.bin")
+        f.append_array(np.arange(4, dtype=np.int64))
+        entry = dev._acquire_fd("pinned.bin", f.path, create=False)
+        dev.delete("pinned.bin")  # must not close the pinned descriptor
+        assert len(os.pread(entry.fd, 8, 0)) == 8  # still readable
+        dev._release_fd(entry)  # last release closes it
+        with pytest.raises(OSError):
+            os.fstat(entry.fd)
+        # the name is gone and can be recreated independently
+        g = dev.open("pinned.bin")
+        assert g.num_items() == 0

@@ -119,3 +119,53 @@ class TestExternalSort:
         # at minimum the input is read once and the output written once
         assert device.stats.bytes_read >= edges.nbytes
         assert device.stats.bytes_written >= edges.nbytes
+
+    def test_invalid_merge_impl_rejected(self, device):
+        write_edge_file(device, "in.bin", random_edges(10, 5))
+        with pytest.raises(ConfigurationError):
+            external_sort_edges(
+                device, "in.bin", "out.bin", memory_bytes=4096, merge_impl="bogus"
+            )
+
+
+class TestFanInDerivation:
+    """The derived fan-in must actually scale with the memory cap."""
+
+    def _fan_in_for(self, device, memory_bytes: int) -> int:
+        edges = random_edges(200, 30, seed=8)
+        write_edge_file(device, "in.bin", edges)
+        result = external_sort_edges(
+            device, "in.bin", "fanout.bin", memory_bytes=memory_bytes
+        )
+        return result.fan_in
+
+    def test_fan_in_scales_with_memory(self, device):
+        # device block size is 512 bytes -> 32 edges per stream buffer
+        small = self._fan_in_for(device, 1024)       # 64 edges of memory
+        medium = self._fan_in_for(device, 16 * 1024)  # 1024 edges
+        large = self._fan_in_for(device, 1 << 20)     # plenty
+        assert small < medium < large
+        # memory_edges // buffer_edges - 1, clamped to [2, 64]
+        assert small == 2                                  # 64 // 32 - 1 == 1 -> clamp
+        assert medium == (16 * 1024 // 16) // (512 // 16) - 1  # == 31
+
+    def test_fan_in_clamped(self, device):
+        assert self._fan_in_for(device, 256) == 2       # lower clamp
+        assert self._fan_in_for(device, 1 << 24) == 64  # upper clamp
+
+    def test_explicit_fan_in_respected(self, device):
+        edges = random_edges(500, 30, seed=9)
+        write_edge_file(device, "in.bin", edges)
+        result = external_sort_edges(
+            device, "in.bin", "out.bin", memory_bytes=1024, fan_in=3
+        )
+        assert result.fan_in == 3
+        assert is_lexsorted(read_edge_file(device, "out.bin"))
+
+    def test_phase_timings_recorded(self, device):
+        edges = random_edges(2000, 50, seed=10)
+        write_edge_file(device, "in.bin", edges)
+        result = external_sort_edges(device, "in.bin", "out.bin", memory_bytes=1024)
+        assert result.merge_passes >= 1
+        assert result.formation_seconds > 0.0
+        assert result.merge_seconds > 0.0

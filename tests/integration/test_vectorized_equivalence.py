@@ -1,0 +1,150 @@
+"""Golden equivalence of every vectorised hot path against its serial reference.
+
+The vectorisation PR rewrote the baselines' per-vertex loops, the extsort
+merge and the MGT scan path; these tests pin each rewritten path against
+(a) the frozen golden triangle counts and (b) the retained pre-refactor
+implementations (:mod:`repro.baselines.reference_impl`, the ``heapq``
+merge), so a silent count divergence in any vectorised kernel fails
+loudly.  The CI perf-smoke job runs this module alongside the perf
+microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from test_golden_counts import GOLDEN
+
+from repro.baselines.cttp import run_cttp
+from repro.baselines.inmemory import forward_count, forward_list, per_vertex_triangle_counts
+from repro.baselines.opt import run_opt
+from repro.baselines.patric import run_patric
+from repro.baselines.powergraph import run_powergraph
+from repro.baselines.reference_impl import forward_count_scalar
+from repro.core.config import PDTLConfig
+from repro.core.mgt import mgt_count
+from repro.core.orientation import orient_csr, orient_graph
+from repro.externalmem.blockio import BlockDevice
+from repro.externalmem.extsort import external_sort_edges, read_edge_file, write_edge_file
+from repro.graph.binfmt import write_graph
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture(params=sorted(GOLDEN))
+def golden_case(request):
+    name = request.param
+    thunk, count = GOLDEN[name]
+    return name, CSRGraph.from_edgelist(thunk()), count
+
+
+class TestVectorizedBaselinesMatchGolden:
+    def test_forward_count(self, golden_case):
+        name, graph, count = golden_case
+        assert forward_count(graph) == count, name
+
+    def test_forward_count_matches_scalar_reference(self, golden_case):
+        name, graph, count = golden_case
+        assert forward_count(graph) == forward_count_scalar(graph), name
+
+    def test_forward_list_size(self, golden_case):
+        name, graph, count = golden_case
+        assert len(forward_list(graph)) == count, name
+
+    def test_per_vertex_counts_sum(self, golden_case):
+        name, graph, count = golden_case
+        # every triangle contributes to exactly three vertices
+        assert int(per_vertex_triangle_counts(graph).sum()) == 3 * count, name
+
+    def test_opt(self, golden_case):
+        name, graph, count = golden_case
+        assert run_opt(graph, num_threads=2).triangles == count, name
+
+    def test_patric(self, golden_case):
+        name, graph, count = golden_case
+        result = run_patric(graph, num_processors=3, memory_per_processor="64MB")
+        assert result.triangles == count, name
+
+    def test_cttp(self, golden_case):
+        name, graph, count = golden_case
+        assert run_cttp(graph, num_reducers=3).triangles == count, name
+
+    def test_powergraph(self, golden_case):
+        name, graph, count = golden_case
+        result = run_powergraph(graph, num_machines=3, memory_per_machine="64MB")
+        assert result.triangles == count, name
+
+
+class TestMGTReadaheadEquivalence:
+    """The read-ahead buffer must change neither counts nor any I/O counter."""
+
+    def test_counts_and_iostats_identical(self, golden_case, tmp_path):
+        name, graph, count = golden_case
+        outcomes = {}
+        for readahead in (0, 1 << 16):
+            root = tmp_path / f"disk_ra{readahead}"
+            device = BlockDevice(root, block_size=512)
+            oriented = orient_graph(write_graph(device, "g", graph)).oriented
+            config = PDTLConfig(
+                memory_per_proc=4096, block_size=512, readahead_bytes=readahead
+            )
+            result = mgt_count(oriented, config)
+            outcomes[readahead] = (
+                result.triangles,
+                result.io_stats.as_dict(),
+                device.stats.as_dict(),
+            )
+        base, buffered = outcomes[0], outcomes[1 << 16]
+        assert base[0] == count == buffered[0], name
+        assert base[1] == buffered[1], name  # worker's own analytic counters
+        assert base[2] == buffered[2], name  # shared device counters
+
+
+class TestExtsortMergeEquivalence:
+    """The vectorised merge must be indistinguishable from the heap merge."""
+
+    @pytest.mark.parametrize("memory_bytes", (2048, 16 * 1024))
+    def test_output_and_iostats_identical(self, tmp_path, memory_bytes):
+        rng = np.random.default_rng(42)
+        edges = rng.integers(0, 3000, size=(20000, 2), dtype=np.int64)
+        outcomes = {}
+        for impl in ("heapq", "vectorized"):
+            device = BlockDevice(tmp_path / f"disk_{impl}_{memory_bytes}", block_size=512)
+            write_edge_file(device, "in.bin", edges)
+            device.stats.reset()
+            result = external_sort_edges(
+                device, "in.bin", "out.bin", memory_bytes=memory_bytes, merge_impl=impl
+            )
+            outcomes[impl] = (
+                read_edge_file(device, "out.bin"),
+                device.stats.as_dict(),
+                result.num_runs,
+                result.merge_passes,
+                result.fan_in,
+            )
+        heap, vec = outcomes["heapq"], outcomes["vectorized"]
+        np.testing.assert_array_equal(heap[0], vec[0])
+        assert heap[1] == vec[1]
+        assert heap[2:] == vec[2:]
+
+    def test_vectorized_output_is_lexsorted_permutation(self, tmp_path):
+        rng = np.random.default_rng(7)
+        edges = rng.integers(0, 500, size=(5000, 2), dtype=np.int64)
+        device = BlockDevice(tmp_path / "disk", block_size=512)
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(device, "in.bin", "out.bin", memory_bytes=4096)
+        expected = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+        np.testing.assert_array_equal(read_edge_file(device, "out.bin"), expected)
+
+
+def test_baselines_agree_with_each_other():
+    """Cross-check the five vectorised baselines on one non-golden graph."""
+    from repro.graph.generators import rmat
+
+    graph = CSRGraph.from_edgelist(rmat(8, edge_factor=6, seed=13))
+    expected = forward_count_scalar(graph)
+    assert forward_count(graph) == expected
+    assert run_opt(graph).triangles == expected
+    assert run_patric(graph, num_processors=2).triangles == expected
+    assert run_cttp(graph).triangles == expected
+    assert run_powergraph(graph, num_machines=2).triangles == expected

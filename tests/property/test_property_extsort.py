@@ -1,0 +1,77 @@
+"""Property test: external sort ≡ ``np.lexsort`` across caps, fan-ins and impls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.externalmem.blockio import BlockDevice
+from repro.externalmem.extsort import (
+    external_sort_edges,
+    read_edge_file,
+    write_edge_file,
+)
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+
+@given(
+    seed=st.integers(0, 1 << 16),
+    num_edges=st.integers(0, 600),
+    num_vertices=st.integers(1, 300),
+    memory=st.sampled_from([256, 1024, 4096, 1 << 16]),
+    fan_in=st.sampled_from([None, 2, 3, 16, 64]),
+    merge_impl=st.sampled_from(["vectorized", "heapq"]),
+)
+@settings(**SETTINGS)
+def test_external_sort_matches_lexsort(
+    tmp_path_factory, seed, num_edges, num_vertices, memory, fan_in, merge_impl
+):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, num_vertices, size=(num_edges, 2), dtype=np.int64)
+    device = BlockDevice(tmp_path_factory.mktemp("extsort_prop"), block_size=256)
+    write_edge_file(device, "in.bin", edges)
+    result = external_sort_edges(
+        device,
+        "in.bin",
+        "out.bin",
+        memory_bytes=memory,
+        fan_in=fan_in,
+        merge_impl=merge_impl,
+    )
+    out = read_edge_file(device, "out.bin")
+    expected = (
+        edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+        if edges.size
+        else edges
+    )
+    np.testing.assert_array_equal(out, expected)
+    assert result.num_edges == num_edges
+    if fan_in is not None:
+        assert result.fan_in == fan_in
+
+
+@given(
+    seed=st.integers(0, 1 << 16),
+    memory=st.sampled_from([512, 2048, 1 << 14]),
+    fan_in=st.sampled_from([None, 2, 5]),
+)
+@settings(**SETTINGS)
+def test_merge_impls_produce_identical_files(tmp_path_factory, seed, memory, fan_in):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, 200, size=(rng.integers(0, 800), 2)).astype(np.int64)
+    outputs = []
+    for impl in ("vectorized", "heapq"):
+        device = BlockDevice(tmp_path_factory.mktemp(f"extsort_{impl}"), block_size=256)
+        write_edge_file(device, "in.bin", edges)
+        external_sort_edges(
+            device, "in.bin", "out.bin", memory_bytes=memory, fan_in=fan_in,
+            merge_impl=impl,
+        )
+        outputs.append(read_edge_file(device, "out.bin"))
+    np.testing.assert_array_equal(outputs[0], outputs[1])

@@ -42,6 +42,8 @@ REPEATS = 1 if QUICK else 3
 #: acceptance thresholds, asserted only in full mode
 EXTSORT_MIN_SPEEDUP = 10.0
 BASELINE_MIN_SPEEDUP = 5.0
+#: processes+shm over the plain processes backend (test_perf_backends)
+BACKEND_SHM_MIN_SPEEDUP = 1.5
 
 
 def best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:

@@ -20,7 +20,12 @@ that preserves the quantities the evaluation reports:
 """
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.executor import ExecutionBackend, run_jobs
+from repro.cluster.executor import (
+    ExecutionBackend,
+    run_jobs,
+    run_task_queue,
+    shutdown_process_pool,
+)
 from repro.cluster.machine import Machine
 from repro.cluster.metrics import ClusterMetrics, NodeMetrics
 from repro.cluster.network import Network, NetworkLink
@@ -34,4 +39,6 @@ __all__ = [
     "ClusterMetrics",
     "ExecutionBackend",
     "run_jobs",
+    "run_task_queue",
+    "shutdown_process_pool",
 ]

@@ -27,6 +27,13 @@ Modules
     oriented edge file, the deterministic pull-protocol replay with
     straggler/failure injection, and the picklable per-chunk execution
     tasks every backend (including processes) runs.
+``shm``
+    Zero-copy shared-memory publication of the oriented adjacency: the
+    master publishes degrees/adjacency/offsets into named
+    ``multiprocessing.shared_memory`` segments once per run, and workers
+    reconstruct read-only numpy views from small descriptors -- the layer
+    that removes the duplicated per-worker host reads of the processes
+    backend.
 ``pdtl``
     The PDTL master/worker framework: orientation, graph duplication, edge
     range assignment (static ranges or the dynamic chunk queue), per-core
@@ -44,8 +51,15 @@ from repro.core.runner import count_triangles, list_triangles
 from repro.core.scheduler import (
     Chunk,
     DynamicScheduler,
+    chunk_seed,
     make_chunks,
     resolve_chunk_edges,
+)
+from repro.core.shm import (
+    SharedGraphDescriptor,
+    SharedGraphView,
+    publish_graph,
+    shm_available,
 )
 from repro.core.triangles import (
     CountingSink,
@@ -69,8 +83,13 @@ __all__ = [
     "mgt_count",
     "Chunk",
     "DynamicScheduler",
+    "chunk_seed",
     "make_chunks",
     "resolve_chunk_edges",
+    "SharedGraphDescriptor",
+    "SharedGraphView",
+    "publish_graph",
+    "shm_available",
     "PDTLRunner",
     "PDTLResult",
     "count_triangles",

@@ -74,12 +74,40 @@ class PDTLConfig:
         and re-executed by a surviving worker, so the final counts are exact.
         Normalised to a sorted tuple of ``(worker, after_chunks)`` pairs so
         the configuration stays hashable.
+    straggler_spec:
+        heterogeneity injection for ``scheduling="dynamic"``: a mapping (or
+        iterable of pairs) ``{worker_index: factor}``.  The modelled cost of
+        every chunk worker ``w`` completes is multiplied by ``factor``
+        (``> 1`` models a slow machine), and the deterministic pull replay
+        automatically routes fewer chunks to it.  Normalised to a sorted
+        tuple of ``(worker, factor)`` pairs so the configuration stays
+        hashable.
+    host_jitter_seconds:
+        host-side straggler injection for testing the execution backends:
+        when positive, each chunk task sleeps a uniform delay in
+        ``[0, host_jitter_seconds)`` drawn from its *chunk-seeded* RNG
+        (:func:`repro.core.scheduler.chunk_seed` -- a pure function of the
+        run seed and the chunk id, never of the pool worker that happens to
+        execute it).  Wall-clock only: no modelled counter moves, so
+        results stay bit-identical with jitter on or off.
     modelled_cpu:
         when True, each MGT worker reports a *modelled* CPU time derived from
         its deterministic operation count (edges scanned plus intersection
         work) instead of the measured thread CPU time.  This makes
         ``calc_seconds`` bit-identical across execution backends and hosts --
         the property the cross-backend equivalence suite asserts.
+    shm:
+        when True, the runner publishes the oriented adjacency (degrees,
+        adjacency, offsets) into named ``multiprocessing.shared_memory``
+        segments once per run and every chunk task slices its memory
+        windows zero-copy from them (:mod:`repro.core.shm`) instead of
+        re-reading the on-disk replica -- the layer that lets the
+        ``processes`` backend scale past duplicated host reads.  Purely a
+        host-side wall-clock optimisation below the accounting layer:
+        triangle counts, :class:`~repro.externalmem.iostats.IOStats` and
+        modelled times are bit-identical with it on or off.  On platforms
+        without POSIX shared memory the runner falls back to the on-disk
+        path with a warning (see :func:`repro.core.shm.shm_available`).
     readahead_bytes:
         when positive, each MGT worker scans the adjacency file through a
         private aligned read-ahead buffer of this size (see
@@ -103,8 +131,11 @@ class PDTLConfig:
     scheduling: str = "static"
     chunk_edges: int | None = None
     failure_spec: tuple[tuple[int, int], ...] = ()
+    straggler_spec: tuple[tuple[int, float], ...] = ()
+    host_jitter_seconds: float = 0.0
     modelled_cpu: bool = False
     readahead_bytes: int = 0
+    shm: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
@@ -156,34 +187,68 @@ class PDTLConfig:
             raise ConfigurationError(
                 "failure_spec must leave at least one surviving worker"
             )
+        object.__setattr__(
+            self, "straggler_spec", self._normalize_straggler_spec(self.straggler_spec)
+        )
+        if self.straggler_spec and self.scheduling != "dynamic":
+            raise ConfigurationError(
+                "straggler_spec requires scheduling='dynamic' (static ranges "
+                "cannot re-balance around a slow worker)"
+            )
+        if self.host_jitter_seconds < 0.0:
+            raise ConfigurationError("host_jitter_seconds must be non-negative")
+        object.__setattr__(self, "host_jitter_seconds", float(self.host_jitter_seconds))
 
-    def _normalize_failure_spec(self, spec: object) -> tuple[tuple[int, int], ...]:
-        """Accept a dict / iterable of pairs and normalise to a sorted tuple."""
+    def _normalize_worker_spec(self, spec, label, coerce, check, requirement):
+        """Normalise an injection spec (dict or iterable of ``(worker, value)``
+        pairs) to a sorted tuple, validating workers and values.
+
+        ``coerce`` converts the value (``int``/``float``), ``check`` accepts
+        a coerced value, and ``requirement`` describes valid values for the
+        error message.
+        """
         if not spec:
             return ()
         pairs = spec.items() if isinstance(spec, dict) else spec
-        normalized: dict[int, int] = {}
+        normalized: dict[int, object] = {}
         for entry in pairs:
-            worker, after = entry
-            worker, after = int(worker), int(after)
+            worker, value = entry
+            worker, value = int(worker), coerce(value)
             if not 0 <= worker < self.total_processors:
                 raise ConfigurationError(
-                    f"failure_spec worker {worker} out of range for "
+                    f"{label} worker {worker} out of range for "
                     f"{self.total_processors} processors"
                 )
-            if after < 0:
-                raise ConfigurationError("failure_spec chunk counts must be >= 0")
+            if not check(value):
+                raise ConfigurationError(f"{label} {requirement}")
             if worker in normalized:
                 raise ConfigurationError(
-                    f"failure_spec lists worker {worker} more than once"
+                    f"{label} lists worker {worker} more than once"
                 )
-            normalized[worker] = after
+            normalized[worker] = value
         return tuple(sorted(normalized.items()))
+
+    def _normalize_failure_spec(self, spec: object) -> tuple[tuple[int, int], ...]:
+        return self._normalize_worker_spec(
+            spec, "failure_spec", int, lambda after: after >= 0,
+            "chunk counts must be >= 0",
+        )
+
+    def _normalize_straggler_spec(self, spec: object) -> tuple[tuple[int, float], ...]:
+        return self._normalize_worker_spec(
+            spec, "straggler_spec", float, lambda factor: factor > 0.0,
+            "factors must be positive",
+        )
 
     @property
     def failure_after(self) -> dict[int, int]:
         """The failure spec as a ``{worker_index: after_chunks}`` mapping."""
         return dict(self.failure_spec)
+
+    @property
+    def straggler_factors(self) -> dict[int, float]:
+        """The straggler spec as a ``{worker_index: factor}`` mapping."""
+        return dict(self.straggler_spec)
 
     # -- derived quantities ----------------------------------------------------------
 
@@ -232,5 +297,6 @@ class PDTLConfig:
             f"M={format_size(self.memory_per_proc)}/proc, "
             f"B={format_size(self.block_size)}, "
             f"load_balanced={self.load_balanced}, "
-            f"count_only={self.count_only})"
+            f"count_only={self.count_only}, "
+            f"scheduling={self.scheduling}, shm={self.shm})"
         )

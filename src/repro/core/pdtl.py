@@ -22,6 +22,7 @@ can regenerate every evaluation figure that slices those quantities.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -34,6 +35,7 @@ from repro.core.config import PDTLConfig
 from repro.core.load_balance import EdgeRange, split_edges
 from repro.core.mgt import MGTResult
 from repro.core.orientation import OrientationResult, orient_graph
+from repro.core.shm import SharedGraphDescriptor, publish_graph, shm_available
 from repro.core.scheduler import (
     Chunk,
     ChunkOutcome,
@@ -118,6 +120,7 @@ class PDTLResult:
     per_vertex_counts: np.ndarray | None = None
     max_out_degree: int = 0
     num_chunks: int = 0
+    shm_used: bool = False
 
     @property
     def average_copy_seconds(self) -> float:
@@ -235,6 +238,7 @@ class PDTLRunner:
         units: list[tuple[int, int]],
         unit_graphs: list[GraphFile],
         sink_kind: str,
+        shm_descriptor: SharedGraphDescriptor | None = None,
     ) -> list[ChunkOutcome]:
         """Execute MGT over every ``[start, stop)`` unit on the host backend.
 
@@ -243,7 +247,10 @@ class PDTLRunner:
         counters, executed by a pull-based worker crew
         (:func:`~repro.cluster.executor.run_task_queue`); outcomes come back
         in unit order so every aggregation below is deterministic no matter
-        which backend ran them, or in what order they finished.
+        which backend ran them, or in what order they finished.  With a
+        shared-memory descriptor the tasks ship only the small segment
+        descriptor and their chunk range -- never arrays -- and slice their
+        windows zero-copy inside the workers.
         """
         tasks = [
             ChunkTask.from_graph(
@@ -253,10 +260,32 @@ class PDTLRunner:
                 start=start,
                 stop=stop,
                 sink_kind=sink_kind,
+                shm=shm_descriptor,
             )
             for i, ((start, stop), graph) in enumerate(zip(units, unit_graphs))
         ]
         return run_task_queue(tasks, execute_chunk_task, backend=self.backend)
+
+    def _publish_shared(self, oriented: GraphFile):
+        """Publish the oriented graph to shared memory when configured.
+
+        Returns the publication (owning the segments) or ``None``.  On a
+        host without POSIX shared memory the runner degrades to the
+        on-disk path with a warning -- results are bit-identical either
+        way, only the wall clock differs.
+        """
+        if not self.config.shm:
+            return None
+        available, reason = shm_available()
+        if not available:
+            warnings.warn(
+                f"shm=True requested but {reason}; falling back to on-disk "
+                f"window reads",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return publish_graph(oriented)
 
     def _run_on_cluster(
         self, cluster: Cluster, graph: CSRGraph | GraphFile, sink_kind: str
@@ -292,14 +321,28 @@ class PDTLRunner:
         for worker in range(config.total_processors):
             cluster.send_configuration(worker // config.procs_per_node)
 
-        # Step 4: MGT execution on the host backend (placement-independent)
+        # Step 4: MGT execution on the host backend (placement-independent).
+        # With shm enabled the oriented adjacency is published once into
+        # named shared-memory segments; the publication is unlinked in the
+        # finally below even when a task raises (failure injection, worker
+        # crash), so no segment ever outlives the run.
         if dynamic:
             units = [(c.start, c.stop) for c in chunks]
             unit_graphs = [local_graphs[0]] * len(chunks)
         else:
             units = [(r.start, r.stop) for r in ranges]
             unit_graphs = [local_graphs[r.node_index] for r in ranges]
-        outcomes = self._execute_units(units, unit_graphs, sink_kind)
+        publication = self._publish_shared(oriented)
+        try:
+            outcomes = self._execute_units(
+                units,
+                unit_graphs,
+                sink_kind,
+                shm_descriptor=publication.descriptor if publication else None,
+            )
+        finally:
+            if publication is not None:
+                publication.unlink()
 
         # Step 5: aggregate at the master
         if dynamic:
@@ -348,6 +391,7 @@ class PDTLRunner:
             per_vertex_counts=per_vertex,
             max_out_degree=orientation.max_out_degree,
             num_chunks=len(units),
+            shm_used=publication is not None,
         )
 
     def _aggregate_static(
@@ -401,6 +445,7 @@ class PDTLRunner:
             chunks,
             num_workers=config.total_processors,
             failure_after=config.failure_after,
+            straggler_factors=config.straggler_factors,
         )
         schedule: ScheduleResult = scheduler.schedule(costs)
         failed = set(schedule.failed_workers)

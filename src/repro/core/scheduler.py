@@ -38,6 +38,7 @@ split between *measured host execution* and *modelled cluster time*:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -46,6 +47,7 @@ import numpy as np
 
 from repro.core.config import PDTLConfig
 from repro.core.mgt import MGTResult, MGTWorker
+from repro.core.shm import SharedGraphDescriptor, attach_view
 from repro.core.triangles import CountingSink, ListingSink, PerVertexCountSink
 from repro.errors import ConfigurationError, SchedulingError
 from repro.externalmem.blockio import BlockDevice, DiskModel
@@ -58,6 +60,7 @@ __all__ = [
     "Chunk",
     "ChunkOutcome",
     "ChunkTask",
+    "chunk_seed",
     "chunks_cover_exactly",
     "DynamicScheduler",
     "ScheduleResult",
@@ -147,16 +150,35 @@ def chunks_cover_exactly(chunks: Sequence[Chunk], num_edges: int) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def chunk_seed(base_seed: int, chunk_index: int) -> int:
+    """Deterministic per-chunk RNG seed, independent of the executing worker.
+
+    Derived from the run seed and the *chunk id* with a
+    :class:`numpy.random.SeedSequence`, never from the pool worker id or
+    pid -- a persistent pool hands the same chunk to different workers on
+    different runs, and replay must not care.
+    """
+    return int(np.random.SeedSequence([int(base_seed), int(chunk_index)]).generate_state(1)[0])
+
+
 @dataclass(frozen=True)
 class ChunkTask:
     """Everything a worker process needs to execute one chunk.
 
-    The task carries plain data only (paths, sizes, the frozen config), so
-    it crosses a :class:`~concurrent.futures.ProcessPoolExecutor` boundary
-    by pickle; the worker re-opens the on-disk graph from ``device_root``.
-    All replicas of the oriented graph are byte-identical and the MGT
-    worker's I/O accounting is analytic, so the outcome is independent of
-    which machine's copy the task reads.
+    The task carries plain data only (paths, sizes, descriptors, the frozen
+    config), so it crosses a :class:`~concurrent.futures.ProcessPoolExecutor`
+    boundary by pickle; the worker re-opens the on-disk graph from
+    ``device_root``, or -- when ``shm`` carries a
+    :class:`~repro.core.shm.SharedGraphDescriptor` -- attaches the published
+    shared-memory segments and slices its windows zero-copy (no file I/O at
+    all).  All replicas of the oriented graph are byte-identical and the
+    MGT worker's I/O accounting is analytic, so the outcome is independent
+    of which machine's copy (or which shared segment) the task reads.
+
+    ``seed`` is the deterministic per-chunk seed (:func:`chunk_seed`);
+    every stochastic worker-side effect (currently the host-jitter
+    straggler injection) draws from it, so replay is reproducible no
+    matter which pool worker picks the chunk up.
     """
 
     index: int
@@ -171,6 +193,8 @@ class ChunkTask:
     start: int
     stop: int
     sink_kind: str
+    shm: SharedGraphDescriptor | None = None
+    seed: int = 0
 
     @classmethod
     def from_graph(
@@ -181,6 +205,7 @@ class ChunkTask:
         start: int,
         stop: int,
         sink_kind: str,
+        shm: SharedGraphDescriptor | None = None,
     ) -> "ChunkTask":
         return cls(
             index=index,
@@ -195,7 +220,13 @@ class ChunkTask:
             start=start,
             stop=stop,
             sink_kind=sink_kind,
+            shm=shm,
+            seed=chunk_seed(config.seed, index),
         )
+
+    def rng(self) -> np.random.Generator:
+        """The chunk's private deterministic generator."""
+        return np.random.default_rng(self.seed)
 
 
 @dataclass
@@ -222,18 +253,32 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
     outcomes can be merged in chunk-index order without caring which
     worker, thread or process produced them -- the "deterministic merge
     regardless of completion order" half of the scheduler contract.
+
+    With a shared-memory descriptor the chunk runs against a zero-copy
+    :class:`~repro.core.shm.SharedGraphView` (attached once per process,
+    then cached); otherwise it re-opens the on-disk graph.  Both paths
+    feed the identical analytic accounting, so every modelled number is
+    bit-identical between them.
     """
-    device = BlockDevice(
-        task.device_root, block_size=task.device_block_size, model=task.disk_model
-    )
-    graph = GraphFile(
-        device=device,
-        name=task.graph_name,
-        num_vertices=task.num_vertices,
-        num_edges=task.num_edges,
-        directed=True,
-        max_degree=task.max_degree,
-    )
+    if task.config.host_jitter_seconds > 0.0:
+        # deterministic straggler injection: the delay is a pure function
+        # of the chunk id (never of the worker that happens to hold it),
+        # and wall-clock only -- no modelled counter moves
+        time.sleep(float(task.rng().uniform(0.0, task.config.host_jitter_seconds)))
+    if task.shm is not None:
+        graph = attach_view(task.shm, task.disk_model)
+    else:
+        device = BlockDevice(
+            task.device_root, block_size=task.device_block_size, model=task.disk_model
+        )
+        graph = GraphFile(
+            device=device,
+            name=task.graph_name,
+            num_vertices=task.num_vertices,
+            num_edges=task.num_edges,
+            directed=True,
+            max_degree=task.max_degree,
+        )
     if task.sink_kind == "list":
         sink: CountingSink | ListingSink | PerVertexCountSink = ListingSink()
     elif task.sink_kind == "per-vertex":

@@ -1,11 +1,15 @@
-"""Cross-backend equivalence: serial / threads / processes must agree exactly.
+"""Cross-backend equivalence: serial / threads / processes / processes+shm.
 
 The execution backend is a host concern -- the simulated cluster's modelled
 quantities must not depend on it.  With ``modelled_cpu=True`` every per-chunk
 cost is a pure function of the input, and chunk→worker assignment is the
 deterministic pull-protocol replay, so *every* modelled number (not just the
 triangle count) must be bit-identical across backends, for both scheduling
-modes and all three sink kinds.
+modes and all three sink kinds.  The shared-memory variant adds a fourth
+backend: the same persistent process pool, but with memory windows sliced
+zero-copy from published segments instead of re-read from disk -- it too
+must be bit-identical, because the zero-copy layer sits strictly below the
+accounting.
 """
 
 from __future__ import annotations
@@ -16,10 +20,19 @@ import pytest
 from repro.baselines.inmemory import forward_count, forward_list
 from repro.core.config import PDTLConfig
 from repro.core.pdtl import PDTLRunner
+from repro.core.shm import shm_available
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import rmat
 
-BACKENDS = ("serial", "threads", "processes")
+#: (label, executor backend, shm) -- the four host execution strategies
+BACKENDS = (
+    ("serial", "serial", False),
+    ("threads", "threads", False),
+    ("processes", "processes", False),
+    ("processes+shm", "processes", True),
+)
+
+_SHM_OK, _SHM_REASON = shm_available()
 
 
 @pytest.fixture(scope="module")
@@ -32,7 +45,7 @@ def expected(graph) -> int:
     return forward_count(graph)
 
 
-def _config(scheduling: str, **overrides) -> PDTLConfig:
+def _config(scheduling: str, shm: bool, **overrides) -> PDTLConfig:
     return PDTLConfig(
         num_nodes=2,
         procs_per_node=2,
@@ -40,29 +53,44 @@ def _config(scheduling: str, **overrides) -> PDTLConfig:
         block_size=512,
         modelled_cpu=True,
         scheduling=scheduling,
+        shm=shm,
         **overrides,
     )
+
+
+def _backends():
+    for label, backend, shm in BACKENDS:
+        if shm and not _SHM_OK:
+            continue  # pragma: no cover - shm-capable hosts run all four
+        yield label, backend, shm
+
+
+def _run(graph, scheduling, backend, shm, sink_kind="count", **overrides):
+    config = _config(scheduling, shm, **overrides)
+    result = PDTLRunner(config, backend=backend).run(graph, sink_kind=sink_kind)
+    assert result.shm_used == shm
+    return result
 
 
 @pytest.mark.parametrize("scheduling", ("static", "dynamic"))
 class TestCountsAndModelledTimes:
     def test_counts_identical_across_backends(self, graph, expected, scheduling):
-        for backend in BACKENDS:
-            result = PDTLRunner(_config(scheduling), backend=backend).run(graph)
-            assert result.triangles == expected, backend
+        for label, backend, shm in _backends():
+            result = _run(graph, scheduling, backend, shm)
+            assert result.triangles == expected, label
 
     def test_modelled_times_identical_across_backends(self, graph, scheduling):
-        results = [
-            PDTLRunner(_config(scheduling), backend=backend).run(graph)
-            for backend in BACKENDS
-        ]
-        reference = results[0]
-        for result in results[1:]:
+        results = {
+            label: _run(graph, scheduling, backend, shm)
+            for label, backend, shm in _backends()
+        }
+        reference = results["serial"]
+        for label, result in results.items():
             # bit-identical, not approximately equal: the modelled numbers
             # are pure functions of the input under modelled_cpu
-            assert result.calc_seconds == reference.calc_seconds
-            assert result.total_io_seconds == reference.total_io_seconds
-            assert result.total_cpu_seconds == reference.total_cpu_seconds
+            assert result.calc_seconds == reference.calc_seconds, label
+            assert result.total_io_seconds == reference.total_io_seconds, label
+            assert result.total_cpu_seconds == reference.total_cpu_seconds, label
             per_worker = [
                 (w.node_index, w.proc_index, w.calc_seconds) for w in result.workers
             ]
@@ -70,12 +98,24 @@ class TestCountsAndModelledTimes:
                 (w.node_index, w.proc_index, w.calc_seconds)
                 for w in reference.workers
             ]
-            assert per_worker == reference_workers
+            assert per_worker == reference_workers, label
+
+    def test_io_stats_identical_across_backends(self, graph, scheduling):
+        results = {
+            label: _run(graph, scheduling, backend, shm)
+            for label, backend, shm in _backends()
+        }
+        reference = results["serial"]
+        for label, result in results.items():
+            for ours, theirs in zip(result.workers, reference.workers):
+                assert (
+                    ours.result.io_stats.as_dict() == theirs.result.io_stats.as_dict()
+                ), label
 
     def test_network_traffic_identical_across_backends(self, graph, scheduling):
         results = [
-            PDTLRunner(_config(scheduling), backend=backend).run(graph)
-            for backend in BACKENDS
+            _run(graph, scheduling, backend, shm)
+            for _, backend, shm in _backends()
         ]
         assert len({r.network_bytes for r in results}) == 1
         assert len({r.network_messages for r in results}) == 1
@@ -86,45 +126,56 @@ class TestSinkKindsAcrossBackends:
     def test_listing_identical_across_backends(self, graph, scheduling):
         reference_sets = forward_list(graph)
         lists = []
-        for backend in BACKENDS:
-            config = _config(scheduling, count_only=False)
-            result = PDTLRunner(config, backend=backend).run(graph, sink_kind="list")
+        for label, backend, shm in _backends():
+            result = _run(
+                graph, scheduling, backend, shm, sink_kind="list", count_only=False
+            )
             assert {t.as_vertex_set() for t in result.triangle_list} == reference_sets
             lists.append([tuple(t) for t in result.triangle_list])
         # deterministic merge by chunk index: identical *order*, not just set
-        assert lists[0] == lists[1] == lists[2]
+        assert all(entry == lists[0] for entry in lists[1:])
 
     def test_per_vertex_identical_across_backends(self, graph, scheduling):
         arrays = [
-            PDTLRunner(_config(scheduling), backend=backend)
-            .run(graph, sink_kind="per-vertex")
+            _run(graph, scheduling, backend, shm, sink_kind="per-vertex")
             .per_vertex_counts
-            for backend in BACKENDS
+            for _, backend, shm in _backends()
         ]
-        np.testing.assert_array_equal(arrays[0], arrays[1])
-        np.testing.assert_array_equal(arrays[0], arrays[2])
+        for array in arrays[1:]:
+            np.testing.assert_array_equal(arrays[0], array)
         assert int(arrays[0].sum()) == 3 * forward_count(graph)
 
     def test_count_sink_matches_other_sinks(self, graph, expected, scheduling):
-        for backend in BACKENDS:
-            result = PDTLRunner(_config(scheduling), backend=backend).run(
-                graph, sink_kind="count"
-            )
-            assert result.triangles == expected
+        for label, backend, shm in _backends():
+            result = _run(graph, scheduling, backend, shm, sink_kind="count")
+            assert result.triangles == expected, label
 
 
 class TestDynamicMatchesStatic:
     def test_dynamic_equals_static_per_backend(self, graph, expected):
-        for backend in BACKENDS:
-            static = PDTLRunner(_config("static"), backend=backend).run(graph)
-            dynamic = PDTLRunner(_config("dynamic"), backend=backend).run(graph)
-            assert static.triangles == dynamic.triangles == expected
+        for label, backend, shm in _backends():
+            static = _run(graph, "static", backend, shm)
+            dynamic = _run(graph, "dynamic", backend, shm)
+            assert static.triangles == dynamic.triangles == expected, label
 
     def test_failure_injection_preserves_counts_on_all_backends(
         self, graph, expected
     ):
-        config = _config("dynamic", failure_spec={0: 1, 2: 0})
-        for backend in BACKENDS:
-            result = PDTLRunner(config, backend=backend).run(graph)
-            assert result.triangles == expected
-            assert result.metrics.total_chunks_retried >= 1
+        for label, backend, shm in _backends():
+            result = _run(
+                graph, "dynamic", backend, shm, failure_spec={0: 1, 2: 0}
+            )
+            assert result.triangles == expected, label
+            assert result.metrics.total_chunks_retried >= 1, label
+
+    def test_host_jitter_leaves_results_bit_identical(self, graph):
+        """Host-side straggler injection is wall-clock only: the chunk-seeded
+        delays must not move a single modelled number on any backend."""
+        reference = _run(graph, "dynamic", "serial", False)
+        for label, backend, shm in _backends():
+            jittered = _run(
+                graph, "dynamic", backend, shm, host_jitter_seconds=0.01
+            )
+            assert jittered.triangles == reference.triangles, label
+            assert jittered.calc_seconds == reference.calc_seconds, label
+            assert jittered.total_io_seconds == reference.total_io_seconds, label

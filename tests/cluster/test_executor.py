@@ -8,7 +8,13 @@ import time
 
 import pytest
 
-from repro.cluster.executor import ExecutionBackend, run_jobs, run_task_queue
+from repro.cluster.executor import (
+    ExecutionBackend,
+    process_pool,
+    run_jobs,
+    run_task_queue,
+    shutdown_process_pool,
+)
 
 
 def _square(x):
@@ -185,3 +191,114 @@ class TestRunTaskQueue:
 
 def _double(x):
     return 2 * x
+
+
+def _worker_pid(_task):
+    return os.getpid()
+
+
+def _kill_worker(task):
+    if task == "die":
+        os._exit(13)  # simulate a hard worker crash (not an exception)
+    return task
+
+
+class TestPersistentProcessPool:
+    """The processes backend reuses one pool across calls (and scheduler
+    rounds) instead of constructing/tearing down an executor per call."""
+
+    def test_pool_object_is_reused_across_calls(self):
+        shutdown_process_pool()
+        first = process_pool(1)
+        second = process_pool(1)
+        assert first is second
+        assert run_task_queue([1, 2], _double, backend="processes") == [2, 4]
+        assert process_pool(1) is first
+
+    def test_worker_processes_survive_between_runs(self):
+        shutdown_process_pool()
+        pids_a = set(run_task_queue([0, 1, 2], _worker_pid, backend="processes"))
+        pids_b = set(run_task_queue([0, 1, 2], _worker_pid, backend="processes"))
+        assert pids_a == pids_b  # same workers, not respawned ones
+        assert os.getpid() not in pids_a
+
+    def test_pool_grows_but_never_shrinks(self):
+        shutdown_process_pool()
+        small = process_pool(1)
+        grown = process_pool(2)
+        assert grown is not small
+        assert process_pool(1) is grown  # a smaller request keeps the big pool
+
+    def test_run_jobs_uses_the_shared_pool(self):
+        shutdown_process_pool()
+        results = run_jobs(
+            [_make_const(3), _make_const(4)], backend="processes", max_workers=2
+        )
+        assert results == [3, 4]
+
+    def test_shutdown_is_idempotent_and_recreates_lazily(self):
+        shutdown_process_pool()
+        shutdown_process_pool()
+        assert run_task_queue([5], _double, backend="processes") == [10]
+        shutdown_process_pool()
+
+    def test_broken_pool_is_discarded_and_rebuilt(self):
+        shutdown_process_pool()
+        from concurrent.futures.process import BrokenProcessPool
+
+        with pytest.raises(BrokenProcessPool):
+            run_task_queue(["ok", "die"], _kill_worker, backend="processes")
+        # the next call transparently builds a fresh pool
+        assert run_task_queue([1, 2, 3], _double, backend="processes") == [2, 4, 6]
+
+    def test_exceptions_propagate_without_breaking_the_pool(self):
+        shutdown_process_pool()
+        with pytest.raises(ValueError, match="bad task"):
+            run_task_queue([0, 1], _raise_on_one, backend="processes")
+        assert run_task_queue([7], _double, backend="processes") == [14]
+
+    def test_growth_does_not_break_a_concurrent_run(self):
+        """Regression: replacing the pool with a larger one must not shut
+        the old executor down under a thread still submitting to it."""
+        shutdown_process_pool()
+        outcome: dict[str, object] = {}
+
+        def long_run():
+            try:
+                outcome["a"] = run_task_queue(
+                    [0.03] * 6, _sleep_return, backend="processes", max_workers=1
+                )
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=long_run)
+        thread.start()
+        time.sleep(0.05)  # let the long run occupy the 1-worker pool
+        outcome["b"] = run_task_queue(
+            [1, 2], _double, backend="processes", max_workers=2
+        )  # grows (replaces) the shared pool mid-flight
+        thread.join()
+        assert "error" not in outcome, outcome.get("error")
+        assert outcome["a"] == [0.03] * 6
+        assert outcome["b"] == [2, 4]
+
+
+def _make_const(value):
+    from functools import partial
+
+    return partial(_identity, value)
+
+
+def _identity(value):
+    return value
+
+
+def _raise_on_one(task):
+    if task == 1:
+        raise ValueError("bad task")
+    return task
+
+
+def _sleep_return(delay):
+    time.sleep(delay)
+    return delay

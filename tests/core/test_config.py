@@ -41,6 +41,39 @@ class TestValidation:
         with pytest.raises((ConfigurationError, ValueError)):
             PDTLConfig(memory_per_proc=-5)
 
+    def test_straggler_spec_normalised_from_dict(self):
+        cfg = PDTLConfig(
+            procs_per_node=4, scheduling="dynamic", straggler_spec={2: 3.0, 0: 1.5}
+        )
+        assert cfg.straggler_spec == ((0, 1.5), (2, 3.0))
+        assert cfg.straggler_factors == {0: 1.5, 2: 3.0}
+
+    def test_straggler_spec_requires_dynamic(self):
+        with pytest.raises(ConfigurationError):
+            PDTLConfig(procs_per_node=2, straggler_spec={0: 2.0})
+
+    def test_straggler_spec_rejects_bad_factors_and_workers(self):
+        with pytest.raises(ConfigurationError):
+            PDTLConfig(procs_per_node=2, scheduling="dynamic", straggler_spec={0: 0.0})
+        with pytest.raises(ConfigurationError):
+            PDTLConfig(procs_per_node=2, scheduling="dynamic", straggler_spec={9: 2.0})
+        with pytest.raises(ConfigurationError):
+            PDTLConfig(
+                procs_per_node=2,
+                scheduling="dynamic",
+                straggler_spec=[(0, 2.0), (0, 3.0)],
+            )
+
+    def test_host_jitter_must_be_non_negative(self):
+        assert PDTLConfig(host_jitter_seconds=0.25).host_jitter_seconds == 0.25
+        with pytest.raises(ConfigurationError):
+            PDTLConfig(host_jitter_seconds=-0.1)
+
+    def test_shm_flag_defaults_off_and_is_hashable(self):
+        assert PDTLConfig().shm is False
+        cfg = PDTLConfig(shm=True, scheduling="dynamic", straggler_spec={0: 2.0})
+        hash(cfg)  # frozen config stays hashable with the new spec tuples
+
 
 class TestDerivedQuantities:
     def test_total_processors_and_memory(self):

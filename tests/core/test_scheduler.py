@@ -12,6 +12,7 @@ from repro.core.orientation import orient_graph
 from repro.core.scheduler import (
     ChunkTask,
     DynamicScheduler,
+    chunk_seed,
     chunks_cover_exactly,
     execute_chunk_task,
     make_chunks,
@@ -207,6 +208,71 @@ class TestChunkTaskExecution:
         merged = merge_mgt_results([], block_size=512)
         assert merged.triangles == 0
         assert merged.edges_processed == 0
+
+
+class TestChunkSeeds:
+    """Worker-side determinism: the per-chunk seed is a pure function of the
+    run seed and the *chunk id* -- never of the pool worker that happens to
+    execute the chunk -- so dynamic-scheduling replay is reproducible under
+    the persistent process pool."""
+
+    def test_seed_is_deterministic_per_chunk(self):
+        assert chunk_seed(0, 3) == chunk_seed(0, 3)
+        assert chunk_seed(7, 3) == chunk_seed(7, 3)
+
+    def test_seed_varies_with_chunk_and_run_seed(self):
+        seeds = {chunk_seed(0, i) for i in range(32)}
+        assert len(seeds) == 32
+        assert chunk_seed(0, 5) != chunk_seed(1, 5)
+
+    def test_tasks_carry_chunk_derived_seeds(self, tmp_path):
+        from repro.externalmem.blockio import BlockDevice
+
+        device = BlockDevice(tmp_path / "disk", block_size=512)
+        oriented = orient_graph(
+            write_graph(device, "g", CSRGraph.from_edgelist(rmat(5, seed=3)))
+        ).oriented
+        config = PDTLConfig(memory_per_proc=4096, block_size=512, seed=9)
+        tasks = [
+            ChunkTask.from_graph(
+                index=i, graph=oriented, config=config, start=0,
+                stop=oriented.num_edges, sink_kind="count",
+            )
+            for i in range(3)
+        ]
+        assert [t.seed for t in tasks] == [chunk_seed(9, i) for i in range(3)]
+        # the task RNG replays identically no matter where it is drawn
+        draws_a = tasks[0].rng().integers(0, 1 << 30, 4).tolist()
+        draws_b = tasks[0].rng().integers(0, 1 << 30, 4).tolist()
+        assert draws_a == draws_b
+        assert tasks[0].rng().integers(0, 1 << 30, 4).tolist() != tasks[
+            1
+        ].rng().integers(0, 1 << 30, 4).tolist()
+
+    def test_host_jitter_does_not_change_outcomes(self, tmp_path):
+        from repro.externalmem.blockio import BlockDevice
+
+        device = BlockDevice(tmp_path / "disk", block_size=512)
+        oriented = orient_graph(
+            write_graph(device, "g", CSRGraph.from_edgelist(rmat(5, seed=3)))
+        ).oriented
+        results = []
+        for jitter in (0.0, 0.005):
+            config = PDTLConfig(
+                memory_per_proc=4096,
+                block_size=512,
+                modelled_cpu=True,
+                host_jitter_seconds=jitter,
+            )
+            task = ChunkTask.from_graph(
+                index=0, graph=oriented, config=config, start=0,
+                stop=oriented.num_edges, sink_kind="count",
+            )
+            outcome = execute_chunk_task(task)
+            results.append(
+                (outcome.triangles, outcome.result.cpu_seconds, outcome.result.io_seconds)
+            )
+        assert results[0] == results[1]
 
 
 class TestConfigKnobs:

@@ -1,0 +1,343 @@
+"""The shared-memory graph publication layer (``repro.core.shm``).
+
+Covers the full lifecycle the PDTL runner exercises: publish → attach
+(zero-copy views, same-process and cross-process) → unlink, plus the
+properties the rest of the suite relies on -- bit-identical results
+against the on-disk path, segment cleanup on success *and* on failure,
+and no ``/dev/shm`` stragglers after any run.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.baselines.inmemory import forward_count
+from repro.core import shm as shm_mod
+from repro.core.config import PDTLConfig
+from repro.core.mgt import MGTWorker, mgt_count
+from repro.core.orientation import orient_graph
+from repro.core.pdtl import PDTLRunner
+from repro.core.scheduler import ChunkTask, chunk_seed, execute_chunk_task
+from repro.core.shm import (
+    SHM_PREFIX,
+    SharedGraphView,
+    attach_view,
+    detach_view,
+    publish_graph,
+    shm_available,
+)
+from repro.errors import PDTLError
+from repro.externalmem.blockio import BlockDevice, DiskModel
+from repro.graph.binfmt import write_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+
+pytestmark = pytest.mark.skipif(
+    not shm_available()[0],
+    reason=f"POSIX shared memory unavailable: {shm_available()[1]}",
+)
+
+
+def _segments_on_host() -> list[str]:
+    """Every live segment this module's publications could have created."""
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}-*")
+
+
+@pytest.fixture
+def oriented(tmp_path):
+    device = BlockDevice(tmp_path / "disk", block_size=512)
+    graph = CSRGraph.from_edgelist(rmat(6, edge_factor=8, seed=5))
+    return orient_graph(write_graph(device, "g", graph)).oriented
+
+
+@pytest.fixture
+def config() -> PDTLConfig:
+    return PDTLConfig(memory_per_proc=4096, block_size=512, modelled_cpu=True)
+
+
+class TestPublishAttach:
+    def test_roundtrip_matches_file_reads(self, oriented):
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            np.testing.assert_array_equal(view.read_degrees(), oriented.read_degrees())
+            np.testing.assert_array_equal(
+                view.read_adjacency_range(0, oriented.num_edges),
+                oriented.read_adjacency_range(0, oriented.num_edges),
+            )
+            np.testing.assert_array_equal(view.cached_offsets, oriented.offsets())
+            assert view.num_vertices == oriented.num_vertices
+            assert view.num_edges == oriented.num_edges
+            assert view.max_degree == oriented.max_degree
+            assert view.directed
+            view.close()
+
+    def test_views_are_zero_copy_and_read_only(self, oriented):
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            window = view.read_adjacency_range(0, min(8, oriented.num_edges))
+            assert not window.flags.writeable
+            # a slice of the mapping, not a copy
+            assert window.base is not None
+            with pytest.raises((ValueError, RuntimeError)):
+                window[0] = -1
+            view.close()
+
+    def test_scan_invariants_published(self, oriented):
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            adjacency = oriented.read_adjacency_range(0, oriented.num_edges)
+            offsets = oriented.offsets()
+            sources = np.repeat(
+                np.arange(oriented.num_vertices, dtype=np.int64),
+                np.diff(offsets).astype(np.int64),
+            )
+            np.testing.assert_array_equal(view.scan_sources, sources)
+            expected_keys = sources * oriented.num_vertices + adjacency
+            np.testing.assert_array_equal(view.scan_keys, expected_keys)
+            assert bool(np.all(np.diff(view.scan_keys) >= 0))  # sorted haystack
+            view.close()
+
+    def test_out_of_bounds_range_rejected(self, oriented):
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            with pytest.raises(PDTLError):
+                view.read_adjacency_range(0, oriented.num_edges + 1)
+            with pytest.raises(PDTLError):
+                view.read_adjacency_range(-1, 1)
+            view.close()
+
+    def test_attach_cache_returns_same_view(self, oriented):
+        publication = publish_graph(oriented)
+        try:
+            model = oriented.device.model
+            first = attach_view(publication.descriptor, model)
+            second = attach_view(publication.descriptor, model)
+            assert first is second
+        finally:
+            publication.unlink()
+        # unlink dropped the same-process cached attachment too
+        assert _segments_on_host() == []
+
+    def test_with_readahead_is_noop(self, oriented):
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            assert view.with_readahead("1MB") is view
+            view.close()
+
+
+class TestLifecycle:
+    def test_unlink_removes_segments_and_is_idempotent(self, oriented):
+        publication = publish_graph(oriented)
+        names = [
+            publication.descriptor.degrees.name,
+            publication.descriptor.adjacency.name,
+            publication.descriptor.offsets.name,
+            publication.descriptor.scan_sources.name,
+            publication.descriptor.scan_keys.name,
+        ]
+        for name in names:
+            assert glob.glob(f"/dev/shm/{name}")
+        publication.unlink()
+        publication.unlink()  # idempotent
+        for name in names:
+            assert not glob.glob(f"/dev/shm/{name}")
+
+    def test_attached_view_survives_unlink(self, oriented):
+        """POSIX keeps unlinked segments alive for existing mappings."""
+        publication = publish_graph(oriented)
+        view = SharedGraphView(publication.descriptor, oriented.device.model)
+        reference = oriented.read_adjacency_range(0, oriented.num_edges).copy()
+        publication.unlink()
+        np.testing.assert_array_equal(
+            view.read_adjacency_range(0, oriented.num_edges), reference
+        )
+        view.close()
+        assert _segments_on_host() == []
+
+    def test_detach_view_without_attachment_is_noop(self):
+        detach_view("no-such-token")
+
+    def test_dead_attachment_swept_on_next_attach(self, oriented):
+        """A cached view whose publication was unlinked elsewhere (a pool
+        worker's situation) is evicted -- and its memory released -- the
+        next time the process attaches anything."""
+        import os
+
+        stale_pub = publish_graph(oriented)
+        stale_token = stale_pub.descriptor.token
+        attach_view(stale_pub.descriptor, oriented.device.model)
+        assert stale_token in shm_mod._ATTACHED
+        # simulate the master unlinking in *another* process: remove the
+        # segments without touching this process's cache
+        for segment in stale_pub._segments:
+            os.unlink(f"/dev/shm/{segment.name}")
+            try:  # keep this process's resource tracker consistent
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:
+                pass
+        fresh_pub = publish_graph(oriented)
+        try:
+            view = attach_view(fresh_pub.descriptor, oriented.device.model)
+            assert stale_token not in shm_mod._ATTACHED
+            assert view.read_degrees().shape[0] == oriented.num_vertices
+        finally:
+            fresh_pub.unlink()
+            stale_pub._unlinked = True  # segments already gone
+        assert _segments_on_host() == []
+
+    def test_tokens_are_unique(self, oriented):
+        with publish_graph(oriented) as first, publish_graph(oriented) as second:
+            assert first.descriptor.token != second.descriptor.token
+
+
+class TestMGTOnSharedView:
+    def test_counts_and_accounting_match_disk_path(self, oriented, config):
+        disk = mgt_count(oriented, config)
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            shared = MGTWorker(view, config).run()
+            view.close()
+        assert shared.triangles == disk.triangles
+        assert shared.iterations == disk.iterations
+        assert shared.cpu_seconds == disk.cpu_seconds  # modelled_cpu
+        assert shared.io_seconds == disk.io_seconds
+        assert shared.io_stats.as_dict() == disk.io_stats.as_dict()
+        assert shared.intersections == disk.intersections
+        assert shared.cpu_operations == disk.cpu_operations
+        assert shared.edges_processed == disk.edges_processed
+
+    def test_edge_range_restriction_matches(self, oriented, config):
+        mid = oriented.num_edges // 2
+        disk = MGTWorker(oriented, config, range_start=mid).run()
+        with publish_graph(oriented) as publication:
+            view = SharedGraphView(publication.descriptor, oriented.device.model)
+            shared = MGTWorker(view, config, range_start=mid).run()
+            view.close()
+        assert shared.triangles == disk.triangles
+        assert shared.io_stats.as_dict() == disk.io_stats.as_dict()
+
+    def test_chunk_task_executes_against_shared_segments(self, oriented, config):
+        with publish_graph(oriented) as publication:
+            task = ChunkTask(
+                index=0,
+                device_root=str(oriented.device.root),
+                device_block_size=oriented.device.block_size,
+                disk_model=DiskModel(),
+                graph_name=oriented.name,
+                num_vertices=oriented.num_vertices,
+                num_edges=oriented.num_edges,
+                max_degree=oriented.max_degree,
+                config=config,
+                start=0,
+                stop=oriented.num_edges,
+                sink_kind="count",
+                shm=publication.descriptor,
+                seed=chunk_seed(0, 0),
+            )
+            outcome = execute_chunk_task(task)
+            detach_view(publication.descriptor.token)
+        assert outcome.triangles == mgt_count(oriented, config).triangles
+
+
+class TestRunnerIntegration:
+    def _config(self, **overrides) -> PDTLConfig:
+        base = dict(
+            num_nodes=2,
+            procs_per_node=2,
+            memory_per_proc=4096,
+            block_size=512,
+            modelled_cpu=True,
+            shm=True,
+        )
+        base.update(overrides)
+        return PDTLConfig(**base)
+
+    def test_no_segment_survives_a_run(self, rmat_small):
+        expected = forward_count(rmat_small)
+        for backend in ("serial", "threads", "processes"):
+            result = PDTLRunner(self._config(), backend=backend).run(rmat_small)
+            assert result.triangles == expected
+            assert result.shm_used
+            assert _segments_on_host() == [], backend
+
+    def test_cleanup_under_failure_injection(self, rmat_small):
+        config = self._config(scheduling="dynamic", failure_spec={0: 1, 2: 0})
+        for backend in ("serial", "processes"):
+            result = PDTLRunner(config, backend=backend).run(rmat_small)
+            assert result.triangles == forward_count(rmat_small)
+            assert result.metrics.total_chunks_retried >= 1
+            assert _segments_on_host() == [], backend
+
+    def test_cleanup_when_a_task_raises(self, rmat_small, monkeypatch):
+        import repro.core.pdtl as pdtl_mod
+
+        def boom(task):
+            raise RuntimeError("injected task failure")
+
+        monkeypatch.setattr(pdtl_mod, "execute_chunk_task", boom)
+        with pytest.raises(RuntimeError, match="injected task failure"):
+            PDTLRunner(self._config(), backend="serial").run(rmat_small)
+        assert _segments_on_host() == []
+
+    def test_shm_matches_disk_exactly(self, rmat_small):
+        for scheduling in ("static", "dynamic"):
+            disk = PDTLRunner(
+                self._config(shm=False, scheduling=scheduling), backend="serial"
+            ).run(rmat_small)
+            shared = PDTLRunner(
+                self._config(scheduling=scheduling), backend="serial"
+            ).run(rmat_small)
+            assert shared.triangles == disk.triangles
+            assert shared.calc_seconds == disk.calc_seconds
+            assert shared.total_io_seconds == disk.total_io_seconds
+            assert shared.total_cpu_seconds == disk.total_cpu_seconds
+            assert not disk.shm_used and shared.shm_used
+
+    def test_straggler_spec_reroutes_chunks_and_keeps_counts(self, rmat_small):
+        expected = forward_count(rmat_small)
+        config = self._config(
+            num_nodes=1,
+            procs_per_node=2,
+            scheduling="dynamic",
+            straggler_spec={0: 25.0},
+        )
+        result = PDTLRunner(config, backend="serial").run(rmat_small)
+        assert result.triangles == expected
+        slow, fast = result.workers
+        # the deterministic pull replay routes most chunks to the fast worker
+        assert slow.chunks_completed < fast.chunks_completed
+        assert slow.chunks_completed + fast.chunks_completed == result.num_chunks
+        assert _segments_on_host() == []
+
+
+class TestAvailabilityGuard:
+    def _config(self) -> PDTLConfig:
+        return PDTLConfig(memory_per_proc=4096, block_size=512, shm=True)
+
+    def test_probe_reports_available_here(self):
+        assert shm_available() == (True, "")
+
+    def test_runner_falls_back_with_warning_when_unavailable(
+        self, rmat_small, monkeypatch
+    ):
+        import repro.core.pdtl as pdtl_mod
+
+        monkeypatch.setattr(
+            pdtl_mod, "shm_available", lambda: (False, "no /dev/shm mount")
+        )
+        with pytest.warns(RuntimeWarning, match="no /dev/shm mount"):
+            result = PDTLRunner(self._config(), backend="serial").run(rmat_small)
+        assert result.triangles == forward_count(rmat_small)
+        assert not result.shm_used
+
+    def test_publish_raises_when_unavailable(self, oriented, monkeypatch):
+        monkeypatch.setattr(shm_mod, "_AVAILABLE", (False, "probe failed"))
+        with pytest.raises(PDTLError, match="probe failed"):
+            publish_graph(oriented)
+        monkeypatch.setattr(shm_mod, "_AVAILABLE", None)
+        assert shm_available()[0]

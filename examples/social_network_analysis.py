@@ -1,12 +1,20 @@
 #!/usr/bin/env python
-"""Social-network analysis: clustering coefficients, transitivity, sybil hints.
+"""Social-network analysis on the one-call analytics pipeline.
 
 The paper's introduction motivates triangle listing with social-network
-metrics: the clustering coefficient and transitivity ratio identify
-high-density vertices, and anomalously *low* clustering at high degree is a
-classic signal of fake ("sybil") accounts that befriend many unrelated
-users.  This example computes those metrics on a LiveJournal-like analogue
-graph using PDTL's per-vertex triangle counts.
+metrics: clustering coefficients and the transitivity ratio identify
+high-density vertices, truss decomposition extracts cohesive cores, and
+anomalously *low* clustering at high degree is a classic signal of fake
+("sybil") accounts that befriend many unrelated users.
+
+This example computes all of it with **one** call -- ``run_analytics``
+runs PDTL once with the edge-support sink and derives per-vertex counts,
+clustering, transitivity and edge trussness from the merged supports::
+
+                        ┌─ total triangles
+    PDTL (edge-support) ┼─ per-vertex counts ── clustering ── sybil ranking
+      supports per edge ┼─ transitivity
+                        └─ k-truss decomposition ── cohesive cores
 
 Run it with:  python examples/social_network_analysis.py
 """
@@ -15,11 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PDTLConfig, PDTLRunner
+from repro import run_analytics
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load_dataset
 from repro.graph.edgelist import EdgeList
-from repro.graph.properties import clustering_coefficient, transitivity
 from repro.utils import as_rng
 
 
@@ -55,29 +62,49 @@ def main() -> None:
     sybil_ids = set(range(base.num_vertices, graph.num_vertices))
 
     # ------------------------------------------------------------------ #
-    # Per-vertex triangle counts through the full PDTL pipeline.
+    # One analytics pass: PDTL edge supports -> every derived metric.
     # ------------------------------------------------------------------ #
-    config = PDTLConfig(num_nodes=1, procs_per_node=4, memory_per_proc="4MB")
-    result = PDTLRunner(config, backend="threads").run(graph, sink_kind="per-vertex")
-    triangles_per_vertex = result.per_vertex_counts
-    print(f"total triangles: {result.triangles}")
+    result = run_analytics(
+        graph,
+        num_nodes=1,
+        procs_per_node=4,
+        memory_per_proc="4MB",
+        scheduling="dynamic",
+        backend="threads",
+    )
+    print()
+    print(result.report())
+
+    coeffs = result.clustering
+    degrees = graph.degrees
 
     # ------------------------------------------------------------------ #
-    # Clustering coefficient and transitivity (Watts–Strogatz / Newman).
+    # Cohesive cores: the max-k truss is the tightest community; sybil
+    # friendships close no triangles, so their edges peel at k = 2 and
+    # sybils can never reach any truss core.
     # ------------------------------------------------------------------ #
-    coeffs = clustering_coefficient(graph, triangles_per_vertex)
-    global_transitivity = transitivity(graph, result.triangles)
+    core = result.truss.truss_subgraph(result.max_truss_k)
+    core_vertices = np.nonzero(core.degrees)[0]
+    print(f"\nmax-truss core (k={result.max_truss_k}): "
+          f"{core_vertices.shape[0]} users, {core.num_undirected_edges} edges, "
+          f"{sum(1 for v in core_vertices if int(v) in sybil_ids)} sybils inside")
+    sybil_edge_mask = np.isin(result.edges, list(sybil_ids)).any(axis=1)
+    if sybil_edge_mask.any():
+        print(f"max trussness of a sybil edge : "
+              f"{int(result.truss.trussness[sybil_edge_mask].max())} (honest max: "
+              f"{int(result.truss.trussness[~sybil_edge_mask].max())})")
+
+    # ------------------------------------------------------------------ #
+    # Clustering-based sybil ranking (Watts–Strogatz / Newman metrics).
+    # ------------------------------------------------------------------ #
     honest_mask = np.ones(graph.num_vertices, dtype=bool)
     honest_mask[list(sybil_ids)] = False
-    print(f"global transitivity          : {global_transitivity:.4f}")
+    print(f"\nglobal transitivity          : {result.transitivity:.4f}")
     print(f"mean clustering (honest)     : {coeffs[honest_mask].mean():.4f}")
     print(f"mean clustering (sybils)     : {coeffs[~honest_mask].mean():.4f}")
 
-    # ------------------------------------------------------------------ #
     # Rank high-degree vertices by clustering coefficient: sybils sink to
     # the bottom because their neighbourhoods close almost no triangles.
-    # ------------------------------------------------------------------ #
-    degrees = graph.degrees
     candidates = np.where(degrees >= 40)[0]
     ranked = sorted(candidates, key=lambda v: coeffs[v])
     flagged = ranked[: 2 * num_sybils]
@@ -89,7 +116,8 @@ def main() -> None:
     for v in ranked[:10]:
         marker = "SYBIL" if v in sybil_ids else "     "
         print(f"  {marker} vertex {v:6d}: degree {int(degrees[v]):4d}, "
-              f"triangles {int(triangles_per_vertex[v]):5d}, clustering {coeffs[v]:.4f}")
+              f"triangles {int(result.per_vertex_counts[v]):5d}, "
+              f"clustering {coeffs[v]:.4f}")
 
 
 if __name__ == "__main__":

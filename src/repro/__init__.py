@@ -15,12 +15,22 @@ The public API is intentionally small:
 * :mod:`repro.baselines` -- the in-memory, PowerGraph-, PATRIC-, OPT- and
   CTTP-style comparators used by the evaluation benchmarks;
 * :mod:`repro.analysis` -- the Theorem IV.2/IV.3 cost model and report
-  formatting.
+  formatting;
+* :mod:`repro.analytics` -- triangle-*consumer* analytics on top of the
+  engine: :func:`run_analytics` fans one PDTL run into per-edge supports,
+  per-vertex counts, clustering coefficients, transitivity and the
+  k-truss decomposition.
 """
 
+from repro.analytics import AnalyticsResult, run_analytics
 from repro.core.config import PDTLConfig
 from repro.core.pdtl import PDTLResult, PDTLRunner
-from repro.core.runner import count_triangles, list_triangles, triangle_counts_per_vertex
+from repro.core.runner import (
+    count_triangles,
+    edge_supports,
+    list_triangles,
+    triangle_counts_per_vertex,
+)
 from repro.core.triangles import Triangle
 from repro.errors import (
     ConfigurationError,
@@ -45,6 +55,9 @@ __all__ = [
     "count_triangles",
     "list_triangles",
     "triangle_counts_per_vertex",
+    "edge_supports",
+    "run_analytics",
+    "AnalyticsResult",
     "PDTLError",
     "GraphFormatError",
     "OutOfMemoryError",

@@ -21,6 +21,7 @@ __all__ = [
     "speedup_table",
     "paper_vs_measured",
     "load_imbalance_table",
+    "truss_summary_table",
 ]
 
 
@@ -96,6 +97,22 @@ def paper_vs_measured(
     ``measured`` keys; extra keys are kept as additional columns.
     """
     return format_table(rows, title=title)
+
+
+def truss_summary_table(
+    rows: Sequence[Mapping[str, object]], title: str | None = None
+) -> str:
+    """Render the k-truss decomposition summary (one row per truss level).
+
+    ``rows`` come from :func:`repro.analytics.truss.truss_summary_rows`:
+    for each ``k``, the number of edges peeled exactly at ``k`` and the
+    size (edges, vertices) of the k-truss subgraph.
+    """
+    return format_table(
+        rows,
+        columns=["k", "edges_peeled_at_k", "truss_edges", "truss_vertices"],
+        title=title,
+    )
 
 
 def load_imbalance_table(metrics: "ClusterMetrics", title: str | None = None) -> str:

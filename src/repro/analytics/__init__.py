@@ -1,0 +1,38 @@
+"""Triangle-consumer analytics layered on the PDTL engine.
+
+The engine below this package *produces* a triangle stream; this package
+*consumes* it.  One PDTL run with the ``edge-support`` sink yields the
+per-edge triangle supports, and every heavier metric the paper's
+introduction names -- clustering coefficients, the transitivity ratio,
+truss decomposition -- derives from them:
+
+``truss``
+    vectorised k-truss peeling over edge supports
+    (:func:`~repro.analytics.truss.truss_decomposition`), with a pinned
+    scalar reference for the property tests.
+``pipeline``
+    the one-call :func:`~repro.analytics.pipeline.run_analytics` driver
+    fanning a single run into supports, per-vertex counts, clustering,
+    transitivity and trussness, plus figure-style report tables.
+"""
+
+from repro.analytics.pipeline import AnalyticsResult, run_analytics
+from repro.analytics.truss import (
+    TrussResult,
+    canonical_edges,
+    truss_decomposition,
+    trussness_reference,
+    truss_summary_rows,
+    undirected_edge_supports,
+)
+
+__all__ = [
+    "AnalyticsResult",
+    "run_analytics",
+    "TrussResult",
+    "canonical_edges",
+    "truss_decomposition",
+    "trussness_reference",
+    "truss_summary_rows",
+    "undirected_edge_supports",
+]

@@ -1,0 +1,159 @@
+"""One-call triangle analytics on top of the PDTL engine.
+
+The paper's introduction motivates triangle listing as the substrate of
+heavier graph analytics -- clustering coefficients, the transitivity
+ratio, truss decomposition.  :func:`run_analytics` turns that motivation
+into a pipeline: **one** PDTL run with the ``edge-support`` sink, and the
+counting-style metrics are derived from the merged per-edge supports
+alone::
+
+                        ┌─ total triangles  (Σ support / 3)
+    PDTL (edge-support) ┼─ per-vertex counts (incident support / 2)
+      supports per edge ┼─ clustering coefficient, transitivity
+                        └─ k-truss decomposition (support peeling)
+
+The derivations are exact integer identities: every triangle contributes
+one unit of support to each of its three edges, and at a vertex ``v`` to
+exactly the two edges incident to ``v`` -- so the per-vertex counts equal
+what a separate ``per-vertex`` PDTL run reports, bit for bit (asserted by
+the integration tests).
+
+The truss stage needs more than counts: peeling requires the triangle
+*structure*, so :func:`~repro.analytics.truss.truss_decomposition`
+re-enumerates the triangles in memory (an ``O(T)`` edge-incidence table)
+and uses the PDTL supports as an exact cross-check -- any disagreement
+between the engine's stream and the local enumeration raises.  The
+external-memory discipline applies to the support *accumulation* (the
+sink's spill path), not to the in-memory decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.truss import TrussResult, truss_decomposition
+from repro.analysis.report import format_table, truss_summary_table
+from repro.cluster.executor import ExecutionBackend
+from repro.core import kernels
+from repro.core.config import PDTLConfig
+from repro.core.pdtl import PDTLResult
+from repro.core.runner import edge_supports
+from repro.graph.binfmt import GraphFile
+from repro.graph.csr import CSRGraph
+from repro.graph.properties import (
+    clustering_coefficient,
+    per_vertex_counts_from_edge_supports,
+    transitivity,
+)
+
+__all__ = ["AnalyticsResult", "run_analytics"]
+
+
+@dataclass
+class AnalyticsResult:
+    """Everything one analytics pass produces.
+
+    ``edges`` is the canonical undirected edge list (``u < v``,
+    lexicographic), ``edge_supports`` the triangle support of each, and the
+    remaining fields are derived as in the module docstring.  ``pdtl``
+    keeps the full engine result (modelled times, per-node metrics, chunk
+    accounting) for callers that want the performance story too.
+    """
+
+    pdtl: PDTLResult
+    num_vertices: int
+    edges: np.ndarray
+    edge_supports: np.ndarray
+    per_vertex_counts: np.ndarray
+    clustering: np.ndarray
+    transitivity: float
+    truss: TrussResult
+
+    @property
+    def triangles(self) -> int:
+        return self.pdtl.triangles
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def mean_clustering(self) -> float:
+        """The network average clustering coefficient (Watts-Strogatz)."""
+        return float(self.clustering.mean()) if self.clustering.shape[0] else 0.0
+
+    @property
+    def max_truss_k(self) -> int:
+        return self.truss.max_k
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """The headline metrics as report rows."""
+        return [
+            {"metric": "vertices", "value": self.num_vertices},
+            {"metric": "edges", "value": self.num_edges},
+            {"metric": "triangles", "value": self.triangles},
+            {"metric": "transitivity", "value": round(self.transitivity, 6)},
+            {"metric": "mean clustering", "value": round(self.mean_clustering, 6)},
+            {"metric": "max edge support", "value": int(self.edge_supports.max())
+             if self.num_edges else 0},
+            {"metric": "max truss k", "value": self.max_truss_k},
+            {"metric": "peel rounds", "value": self.truss.rounds},
+        ]
+
+    def report(self) -> str:
+        """Figure-style plain-text report (summary + truss table)."""
+        sections = [
+            format_table(self.summary_rows(), title="Triangle analytics"),
+            truss_summary_table(
+                self.truss.summary_rows(), title="k-truss decomposition"
+            ),
+        ]
+        return "\n\n".join(sections)
+
+
+def run_analytics(
+    graph: CSRGraph | GraphFile,
+    config: PDTLConfig | None = None,
+    backend: ExecutionBackend | str = "serial",
+    **config_overrides: object,
+) -> AnalyticsResult:
+    """Run PDTL once and fan the triangle stream into the full analytics set.
+
+    ``graph`` is the undirected input (in-memory CSR or on-disk).  The
+    engine configuration comes from ``config`` or keyword overrides exactly
+    as in :func:`repro.core.runner.edge_supports` (which this delegates
+    to); the sink kind is forced to ``edge-support`` because everything
+    downstream derives from the per-edge supports.
+    """
+    csr = graph.to_csr() if isinstance(graph, GraphFile) else graph
+    if csr.directed:
+        raise ValueError("run_analytics expects the undirected graph")
+
+    result = edge_supports(graph, config, backend=backend, **config_overrides)
+
+    # canonicalise: the oriented adjacency stores each undirected edge once,
+    # ordered by the degree-based orientation; re-key to (min, max) pairs in
+    # lexicographic order, the shared canonical edge-id space
+    oriented = result.oriented_edges
+    low = np.minimum(oriented[:, 0], oriented[:, 1])
+    high = np.maximum(oriented[:, 0], oriented[:, 1])
+    order = np.argsort(kernels.packed_keys(low, high, csr.num_vertices))
+    edges = np.stack([low[order], high[order]], axis=1)
+    supports = result.edge_supports[order]
+
+    per_vertex = per_vertex_counts_from_edge_supports(
+        csr.num_vertices, edges, supports
+    )
+    truss = truss_decomposition(csr, supports=supports, edges=edges)
+    return AnalyticsResult(
+        pdtl=result,
+        num_vertices=csr.num_vertices,
+        edges=edges,
+        edge_supports=supports,
+        per_vertex_counts=per_vertex,
+        clustering=clustering_coefficient(csr, per_vertex),
+        transitivity=transitivity(csr, result.triangles),
+        truss=truss,
+    )

@@ -1,0 +1,332 @@
+"""k-truss decomposition over per-edge triangle supports.
+
+The paper motivates triangle listing as the building block of heavier
+analytics, truss decomposition among them: the *k-truss* of a graph
+(Cohen 2008) is the maximal subgraph in which every edge participates in
+at least ``k - 2`` triangles *of the subgraph*, and the *trussness* of an
+edge is the largest ``k`` whose k-truss contains it.  Computing it is a
+peeling process over exactly the per-edge supports the
+:class:`~repro.core.triangles.EdgeSupportSink` accumulates from the PDTL
+triangle stream.
+
+Two implementations live here:
+
+* :func:`truss_decomposition` -- the vectorised peeler.  The triangles are
+  enumerated **once** with the shared MGT counting kernel
+  (:func:`~repro.core.kernels.triangle_range` over the degree-based
+  orientation), each triangle's three edges are mapped to canonical edge
+  ids with one packed-key binary search, and an edge→triangle incidence
+  CSR is built with one stable argsort.  Peeling then never searches
+  again: every batch gathers the peeled edges' incident triangle ids with
+  one :func:`~repro.core.kernels.segment_gather`, kills each still-alive
+  triangle exactly once (``np.unique``), and applies the support
+  decrements to the surviving edges with one ``np.subtract.at`` -- no
+  per-edge Python loops anywhere.
+* :func:`trussness_reference` -- a deliberately simple scalar
+  implementation (sets, dicts, one edge at a time) kept as the pinned
+  reference for the property tests and the perf benchmark.  Trussness is a
+  pure function of the graph (independent of peel order), so the two must
+  agree exactly.
+
+Both operate on the *canonical undirected edge list*: every edge once as
+``(u, v)`` with ``u < v``, sorted lexicographically -- which is exactly the
+storage order of the undirected CSR adjacency restricted to ``u < v``
+entries, so canonical edge ids are stable across every layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import kernels
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "TrussResult",
+    "canonical_edges",
+    "undirected_edge_supports",
+    "truss_decomposition",
+    "trussness_reference",
+    "truss_summary_rows",
+]
+
+#: Bound on gathered adjacency entries per support batch, mirroring
+#: :data:`repro.core.kernels.DEFAULT_BATCH_ENTRIES`'s cache rationale.
+_SUPPORT_BATCH_EDGES = 65536
+
+
+def canonical_edges(graph: CSRGraph) -> np.ndarray:
+    """Every undirected edge once as ``(u, v)``, ``u < v``, lexicographically
+    sorted (the canonical edge-id order shared by supports and trussness)."""
+    if graph.directed:
+        raise ValueError("canonical_edges expects the undirected CSR graph")
+    edges = graph.edge_array()
+    return edges[edges[:, 0] < edges[:, 1]]
+
+
+def undirected_edge_supports(
+    graph: CSRGraph,
+    edges: np.ndarray | None = None,
+    batch_edges: int = _SUPPORT_BATCH_EDGES,
+) -> np.ndarray:
+    """``|N(u) ∩ N(v)|`` for every canonical edge -- its triangle support.
+
+    Evaluated with the shared intersection kernel
+    (:func:`repro.core.kernels.edge_intersections`) in bounded batches.
+    This is the standalone path; the analytics pipeline instead reuses the
+    supports the PDTL run already accumulated.
+    """
+    if edges is None:
+        edges = canonical_edges(graph)
+    supports = np.zeros(edges.shape[0], dtype=np.int64)
+    csr_keys = kernels.csr_packed_keys(graph.indptr, graph.indices)
+    for lo in range(0, edges.shape[0], batch_edges):
+        hi = min(lo + batch_edges, edges.shape[0])
+        supports[lo:hi] = kernels.edge_intersections(
+            graph.indptr,
+            graph.indices,
+            edges[lo:hi, 0],
+            edges[lo:hi, 1],
+            csr_keys=csr_keys,
+            per_edge=True,
+        )
+    return supports
+
+
+@dataclass
+class TrussResult:
+    """Edge trussness plus everything the report tables need.
+
+    ``edges`` are the canonical undirected edges, ``trussness[i]`` the
+    largest ``k`` whose k-truss contains ``edges[i]`` (``>= 2`` for every
+    edge of a simple graph), ``support`` the *initial* per-edge supports
+    the peeling started from, ``rounds`` the number of peel batches.
+    """
+
+    num_vertices: int
+    edges: np.ndarray
+    trussness: np.ndarray
+    support: np.ndarray
+    rounds: int
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def max_k(self) -> int:
+        """The largest ``k`` with a non-empty k-truss."""
+        if self.trussness.shape[0] == 0:
+            return 2
+        return int(self.trussness.max())
+
+    def truss_edge_mask(self, k: int) -> np.ndarray:
+        """Boolean mask over canonical edges of the k-truss."""
+        return self.trussness >= k
+
+    def truss_subgraph(self, k: int) -> CSRGraph:
+        """The k-truss as an undirected CSR graph on the original vertex ids."""
+        from repro.graph.edgelist import EdgeList
+
+        kept = self.edges[self.truss_edge_mask(k)]
+        return CSRGraph.from_edgelist(EdgeList(kept, self.num_vertices))
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        return truss_summary_rows(self.edges, self.trussness)
+
+
+def truss_summary_rows(
+    edges: np.ndarray, trussness: np.ndarray
+) -> list[dict[str, object]]:
+    """One row per truss level: edges peeled at ``k``, edges and vertices of
+    the k-truss (the figure-style table
+    :func:`repro.analysis.report.truss_summary_table` renders)."""
+    rows: list[dict[str, object]] = []
+    if trussness.shape[0] == 0:
+        return rows
+    max_k = int(trussness.max())
+    for k in range(2, max_k + 1):
+        mask = trussness >= k
+        kept = edges[mask]
+        vertices = np.unique(kept) if kept.shape[0] else np.empty(0, dtype=np.int64)
+        rows.append(
+            {
+                "k": k,
+                "edges_peeled_at_k": int(np.count_nonzero(trussness == k)),
+                "truss_edges": int(np.count_nonzero(mask)),
+                "truss_vertices": int(vertices.shape[0]),
+            }
+        )
+    return rows
+
+
+def _triangle_edge_ids(graph: CSRGraph, keys: np.ndarray) -> np.ndarray:
+    """Every triangle as its three canonical edge ids, shape ``(T, 3)``.
+
+    Enumerated with the shared MGT counting kernel over the degree-based
+    orientation (bounded out-degrees, so the gather volume obeys the
+    arboricity bound of Theorem III.4), then mapped to canonical ids with
+    one packed-key binary search per edge slot.
+    """
+    from repro.core.orientation import orient_csr
+
+    oriented = orient_csr(graph)
+    n = graph.num_vertices
+    parts: list[np.ndarray] = []
+    for blo, bhi in kernels.iter_vertex_batches(oriented.indptr, 0, n):
+        cones, vs, ws, _ = kernels.triangle_range(
+            oriented.indptr, oriented.indices, blo, bhi, want_triples=True
+        )
+        if cones.shape[0] == 0:
+            continue
+        tri = np.empty((cones.shape[0], 3), dtype=np.int64)
+        for slot, (a, b) in enumerate(((cones, vs), (cones, ws), (vs, ws))):
+            queries = kernels.packed_keys(np.minimum(a, b), np.maximum(a, b), n)
+            tri[:, slot] = np.searchsorted(keys, queries)
+        parts.append(tri)
+    if not parts:
+        return np.empty((0, 3), dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def truss_decomposition(
+    graph: CSRGraph,
+    supports: np.ndarray | None = None,
+    edges: np.ndarray | None = None,
+) -> TrussResult:
+    """Vectorised k-truss peeling of an undirected CSR graph.
+
+    Parameters
+    ----------
+    graph:
+        the undirected graph (bidirectional CSR storage).
+    supports:
+        per-canonical-edge triangle supports to start from -- typically the
+        merged output of a PDTL ``edge-support`` run.  The decomposition
+        cross-checks them against its own triangle enumeration (they are
+        the same integer quantity, so any mismatch means corrupt input and
+        raises).
+    edges:
+        the canonical edge array the supports are aligned with; derived
+        from ``graph`` when omitted.
+
+    Algorithm: classic support peeling, batched, with the triangle
+    structure materialised up front.  One pass of the shared counting
+    kernel yields every triangle's three canonical edge ids; a stable
+    argsort turns them into an edge→triangle incidence CSR; initial
+    supports are a ``bincount``.  At level ``k`` every surviving edge with
+    support ``<= k - 2`` peels at once: its incident still-alive triangles
+    are gathered, killed exactly once (``np.unique`` -- a triangle losing
+    two or three edges in one batch still dies once), and each dead
+    triangle decrements its surviving edges in a single
+    ``np.subtract.at``.  When a level stabilises, ``k`` jumps straight to
+    ``2 + min(surviving support)``.
+    """
+    if graph.directed:
+        raise ValueError("truss_decomposition expects the undirected CSR graph")
+    if edges is None:
+        edges = canonical_edges(graph)
+    m = int(edges.shape[0])
+    n = graph.num_vertices
+    keys = kernels.packed_keys(edges[:, 0], edges[:, 1], n)  # sorted by canon order
+
+    tri_edges = _triangle_edge_ids(graph, keys)
+    num_triangles = int(tri_edges.shape[0])
+    support = np.bincount(tri_edges.reshape(-1), minlength=m).astype(np.int64)
+    if supports is not None:
+        supports = np.asarray(supports, dtype=np.int64)
+        if supports.shape[0] != m:
+            raise ValueError(
+                f"got {supports.shape[0]} supports for {m} canonical edges"
+            )
+        if not np.array_equal(supports, support):
+            raise ValueError(
+                "given supports disagree with the graph's triangle counts"
+            )
+    initial_support = support.copy()
+
+    # edge -> incident-triangle CSR: one stable argsort of the 3T slots
+    flat = tri_edges.reshape(-1)
+    order = np.argsort(flat, kind="stable")
+    inc_triangles = order // 3  # slot index -> owning triangle id
+    inc_ptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(flat, minlength=m), out=inc_ptr[1:])
+    inc_degrees = inc_ptr[1:] - inc_ptr[:-1]
+
+    alive = np.ones(m, dtype=bool)
+    tri_alive = np.ones(num_triangles, dtype=bool)
+    trussness = np.zeros(m, dtype=np.int64)
+    rounds = 0
+    k = 2
+    while alive.any():
+        frontier = np.nonzero(alive & (support <= k - 2))[0]
+        if frontier.shape[0] == 0:
+            # nothing peels at this level: jump to the next populated one
+            k = max(k + 1, 2 + int(support[alive].min()))
+            continue
+        while frontier.shape[0]:
+            rounds += 1
+            alive[frontier] = False
+            trussness[frontier] = k
+            # triangles incident to the peeled edges that are still alive
+            # die now -- exactly once each, even when two or three of their
+            # edges peel in the same batch
+            gathered, _ = kernels.segment_gather(
+                inc_triangles, inc_ptr[frontier], inc_degrees[frontier]
+            )
+            if gathered.shape[0]:
+                dead = np.unique(gathered[tri_alive[gathered]])
+                if dead.shape[0]:
+                    tri_alive[dead] = False
+                    targets = tri_edges[dead].reshape(-1)
+                    targets = targets[alive[targets]]
+                    if targets.shape[0]:
+                        np.subtract.at(support, targets, 1)
+            frontier = np.nonzero(alive & (support <= k - 2))[0]
+        k += 1
+
+    return TrussResult(
+        num_vertices=n,
+        edges=edges,
+        trussness=trussness,
+        support=initial_support,
+        rounds=rounds,
+    )
+
+
+def trussness_reference(graph: CSRGraph) -> np.ndarray:
+    """Scalar reference k-truss peeling (sets and dicts, one edge at a time).
+
+    Kept deliberately close to the textbook formulation; the property tests
+    and the ``analytics_truss`` perf benchmark pin
+    :func:`truss_decomposition` against it.  Returns trussness aligned with
+    :func:`canonical_edges` order.
+    """
+    if graph.directed:
+        raise ValueError("trussness_reference expects the undirected CSR graph")
+    adjacency = [set(map(int, graph.neighbors(v))) for v in range(graph.num_vertices)]
+    edge_list = [(int(u), int(v)) for u, v in canonical_edges(graph)]
+    support = {
+        (u, v): len(adjacency[u] & adjacency[v]) for u, v in edge_list
+    }
+    trussness: dict[tuple[int, int], int] = {}
+    k = 2
+    while support:
+        peeled_any = True
+        while peeled_any:
+            peeled_any = False
+            for u, v in list(support):
+                if support.get((u, v), k) <= k - 2 and (u, v) in support:
+                    for z in adjacency[u] & adjacency[v]:
+                        for other in ((min(u, z), max(u, z)), (min(v, z), max(v, z))):
+                            if other in support:
+                                support[other] -= 1
+                    del support[(u, v)]
+                    adjacency[u].discard(v)
+                    adjacency[v].discard(u)
+                    trussness[(u, v)] = k
+                    peeled_any = True
+        k += 1
+    return np.array([trussness[e] for e in edge_list], dtype=np.int64)

@@ -55,6 +55,7 @@ class Machine:
         block_size: int = 4096,
         disk_model: DiskModel | None = None,
         storage_root: str | Path | None = None,
+        mmap_reads: bool = False,
     ) -> None:
         if num_cores <= 0:
             raise ConfigurationError(f"machine {index} needs at least one core")
@@ -74,7 +75,9 @@ class Machine:
                 self._tempdir = tempfile.TemporaryDirectory(prefix=f"pdtl_node{index}_")
                 self._owns_tempdir = True
                 root = Path(self._tempdir.name)
-            self.device = BlockDevice(root, block_size=block_size, model=disk_model)
+            self.device = BlockDevice(
+                root, block_size=block_size, model=disk_model, mmap_reads=mmap_reads
+            )
 
     # -- capacity ------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.core.triangles import CHUNK_SINK_KINDS, normalize_sink_kind
 from repro.errors import ConfigurationError
 from repro.externalmem.blockio import DEFAULT_BLOCK_SIZE
 from repro.utils import format_size, parse_size
@@ -52,6 +53,14 @@ class PDTLConfig:
         when True, triangles are counted but not materialised, so the output
         term ``T/B`` of the I/O bound and ``T`` of the network bound drop to 0,
         matching the convention of Theorem IV.3.
+    sink:
+        the default sink kind a :class:`~repro.core.pdtl.PDTLRunner` hands
+        every worker when ``run()`` is not given an explicit ``sink_kind``:
+        ``"count"`` (default), ``"list"``, ``"per-vertex"`` or
+        ``"edge-support"`` (per-edge triangle supports, the input of the
+        k-truss decomposition in :mod:`repro.analytics`).  Underscore
+        spellings (``"edge_support"``) are normalised to the hyphenated
+        kind names of the :func:`repro.core.triangles.make_sink` registry.
     scheduling:
         how oriented edge positions are handed to the ``N·P`` workers.
         ``"static"`` (the paper's protocol) computes one contiguous range per
@@ -116,6 +125,16 @@ class PDTLConfig:
         layer, so :class:`~repro.externalmem.iostats.IOStats` block counts
         and modelled device seconds are bit-identical with it on or off.
         Accepts human-readable sizes (``"1MB"``); ``0`` disables.
+    mmap_reads:
+        when True, every simulated block device serves file reads from a
+        cached read-only ``mmap`` of the file instead of issuing one
+        ``pread`` syscall per logical read
+        (:class:`~repro.externalmem.blockio.BlockDevice`).  Strictly below
+        the accounting layer: every logical read is still charged at its
+        exact offset and length, so
+        :class:`~repro.externalmem.iostats.IOStats` block counts and
+        modelled device seconds are bit-identical with the flag on or off
+        -- only host wall-clock changes.
     """
 
     num_nodes: int = 1
@@ -126,6 +145,7 @@ class PDTLConfig:
     load_balanced: bool = True
     parallel_orientation: bool = True
     count_only: bool = True
+    sink: str = "count"
     use_processes: bool = False
     seed: int = 0
     scheduling: str = "static"
@@ -136,6 +156,7 @@ class PDTLConfig:
     modelled_cpu: bool = False
     readahead_bytes: int = 0
     shm: bool = False
+    mmap_reads: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
@@ -165,6 +186,12 @@ class PDTLConfig:
         if self.scheduling not in ("static", "dynamic"):
             raise ConfigurationError(
                 f"scheduling must be 'static' or 'dynamic', got {self.scheduling!r}"
+            )
+        object.__setattr__(self, "sink", normalize_sink_kind(self.sink))
+        if self.sink not in CHUNK_SINK_KINDS:
+            raise ConfigurationError(
+                f"sink must be one of {', '.join(CHUNK_SINK_KINDS)}, "
+                f"got {self.sink!r}"
             )
         if self.chunk_edges is not None:
             object.__setattr__(self, "chunk_edges", int(self.chunk_edges))

@@ -47,7 +47,12 @@ from repro.core.scheduler import (
     merge_mgt_results,
     resolve_chunk_edges,
 )
-from repro.core.triangles import Triangle
+from repro.core.triangles import (
+    CHUNK_SINK_KINDS,
+    Triangle,
+    normalize_sink_kind,
+    oriented_edge_array,
+)
 from repro.errors import ConfigurationError
 from repro.externalmem.blockio import DiskModel
 from repro.graph.binfmt import GraphFile, write_graph
@@ -118,6 +123,8 @@ class PDTLResult:
     edge_ranges: list[EdgeRange] = field(default_factory=list)
     triangle_list: list[Triangle] | None = None
     per_vertex_counts: np.ndarray | None = None
+    edge_supports: np.ndarray | None = None
+    oriented_edges: np.ndarray | None = None
     max_out_degree: int = 0
     num_chunks: int = 0
     shm_used: bool = False
@@ -176,7 +183,7 @@ class PDTLRunner:
     def run(
         self,
         graph: CSRGraph | GraphFile,
-        sink_kind: str = "count",
+        sink_kind: str | None = None,
     ) -> PDTLResult:
         """Count (or list) all triangles of ``graph`` under this configuration.
 
@@ -185,12 +192,21 @@ class PDTLRunner:
         already) or an on-disk undirected graph already living on a device.
 
         ``sink_kind`` selects what each worker does with its triangles:
-        ``"count"`` (default, matches the paper's measurements), ``"list"``
-        (collect :class:`Triangle` records) or ``"per-vertex"`` (per-vertex
-        triangle counts for clustering-coefficient style analyses).
+        ``"count"`` (matches the paper's measurements), ``"list"`` (collect
+        :class:`Triangle` records), ``"per-vertex"`` (per-vertex triangle
+        counts for clustering-coefficient style analyses) or
+        ``"edge-support"`` (per-oriented-edge triangle supports, the input
+        of the k-truss decomposition in :mod:`repro.analytics`).  When
+        omitted, ``config.sink`` decides.
         """
-        if sink_kind not in ("count", "list", "per-vertex"):
-            raise ConfigurationError(f"unsupported sink kind {sink_kind!r}")
+        sink_kind = normalize_sink_kind(
+            sink_kind if sink_kind is not None else self.config.sink
+        )
+        if sink_kind not in CHUNK_SINK_KINDS:
+            raise ConfigurationError(
+                f"unsupported sink kind {sink_kind!r}; supported kinds: "
+                f"{', '.join(CHUNK_SINK_KINDS)}"
+            )
 
         wall_timer = Timer().start()
         cluster = Cluster.from_config(
@@ -228,9 +244,14 @@ class PDTLRunner:
             parallel=self.config.parallel_orientation,
         )
 
-    def _result_payload(self, sink_kind: str, triangles: int) -> int:
+    def _result_payload(
+        self, sink_kind: str, triangles: int, num_edges: int = 0
+    ) -> int:
         if sink_kind == "count" or self.config.count_only:
             return _COUNT_BYTES
+        if sink_kind == "edge-support":
+            # a worker ships its dense per-edge partial support array
+            return _COUNT_BYTES + num_edges * _COUNT_BYTES
         return _COUNT_BYTES + triangles * _TRIANGLE_BYTES
 
     def _execute_units(
@@ -347,11 +368,11 @@ class PDTLRunner:
         # Step 5: aggregate at the master
         if dynamic:
             reports, edge_ranges = self._aggregate_dynamic(
-                cluster, chunks, outcomes, sink_kind
+                cluster, chunks, outcomes, sink_kind, oriented.num_edges
             )
         else:
             reports, edge_ranges = self._aggregate_static(
-                cluster, ranges, outcomes, sink_kind
+                cluster, ranges, outcomes, sink_kind, oriented.num_edges
             )
         total_triangles = sum(outcome.triangles for outcome in outcomes)
 
@@ -364,6 +385,8 @@ class PDTLRunner:
         # merge sink payloads by unit index -- never by completion order
         triangle_list: list[Triangle] | None = None
         per_vertex: np.ndarray | None = None
+        edge_supports: np.ndarray | None = None
+        oriented_edges: np.ndarray | None = None
         if sink_kind == "list":
             triangle_list = [
                 Triangle(int(u), int(v), int(w))
@@ -374,6 +397,14 @@ class PDTLRunner:
             per_vertex = np.zeros(oriented.num_vertices, dtype=np.int64)
             for outcome in outcomes:
                 per_vertex += outcome.per_vertex
+        elif sink_kind == "edge-support":
+            # partial supports combine exactly: integer addition in chunk
+            # order, identical on every backend (each outcome's positions
+            # are unique, so indexed addition is the sparse merge)
+            edge_supports = np.zeros(oriented.num_edges, dtype=np.int64)
+            for outcome in outcomes:
+                edge_supports[outcome.support_positions] += outcome.support_counts
+            oriented_edges = oriented_edge_array(oriented)
 
         return PDTLResult(
             config=config,
@@ -389,6 +420,8 @@ class PDTLRunner:
             edge_ranges=edge_ranges,
             triangle_list=triangle_list,
             per_vertex_counts=per_vertex,
+            edge_supports=edge_supports,
+            oriented_edges=oriented_edges,
             max_out_degree=orientation.max_out_degree,
             num_chunks=len(units),
             shm_used=publication is not None,
@@ -400,6 +433,7 @@ class PDTLRunner:
         ranges: list[EdgeRange],
         outcomes: list[ChunkOutcome],
         sink_kind: str,
+        num_edges: int,
     ) -> tuple[list[WorkerReport], list[EdgeRange]]:
         """The paper's step 5: one result message per fixed-range worker."""
         reports: list[WorkerReport] = []
@@ -421,7 +455,7 @@ class PDTLRunner:
             )
             cluster.send_result(
                 edge_range.node_index,
-                self._result_payload(sink_kind, mgt_result.triangles),
+                self._result_payload(sink_kind, mgt_result.triangles, num_edges),
             )
         return reports, ranges
 
@@ -431,6 +465,7 @@ class PDTLRunner:
         chunks: list[Chunk],
         outcomes: list[ChunkOutcome],
         sink_kind: str,
+        num_edges: int,
     ) -> tuple[list[WorkerReport], list[EdgeRange]]:
         """Replay the pull-based schedule and account it to the cluster.
 
@@ -489,7 +524,10 @@ class PDTLRunner:
             for index in indices:
                 cluster.send_chunk_grant(node)
                 cluster.send_result(
-                    node, self._result_payload(sink_kind, outcomes[index].triangles)
+                    node,
+                    self._result_payload(
+                        sink_kind, outcomes[index].triangles, num_edges
+                    ),
                 )
 
         # the chunk list itself (in file order) is the coverage record: every

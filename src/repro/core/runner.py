@@ -18,7 +18,12 @@ from repro.core.pdtl import PDTLResult, PDTLRunner
 from repro.graph.binfmt import GraphFile
 from repro.graph.csr import CSRGraph
 
-__all__ = ["count_triangles", "list_triangles", "triangle_counts_per_vertex"]
+__all__ = [
+    "count_triangles",
+    "list_triangles",
+    "triangle_counts_per_vertex",
+    "edge_supports",
+]
 
 
 def _make_config(config: PDTLConfig | None, **overrides: object) -> PDTLConfig:
@@ -71,3 +76,25 @@ def triangle_counts_per_vertex(
     """
     cfg = _make_config(config, **config_overrides)
     return PDTLRunner(cfg, backend=backend).run(graph, sink_kind="per-vertex")
+
+
+def edge_supports(
+    graph: CSRGraph | GraphFile,
+    config: PDTLConfig | None = None,
+    backend: str = "serial",
+    **config_overrides: object,
+) -> PDTLResult:
+    """Per-oriented-edge triangle supports (``edge_supports`` on the result,
+    aligned with ``oriented_edges``).
+
+    This is the input of the k-truss decomposition; see
+    :func:`repro.analytics.run_analytics` for the full derived pipeline.
+
+    Like :func:`list_triangles`, the run materialises per-worker output
+    (the partial support arrays), so ``count_only`` defaults to False
+    here and the result messages are charged at their real size.
+    """
+    cfg = _make_config(config, **config_overrides)
+    if config is None and "count_only" not in config_overrides:
+        cfg = PDTLConfig(**{**config_overrides, "count_only": False})  # type: ignore[arg-type]
+    return PDTLRunner(cfg, backend=backend).run(graph, sink_kind="edge-support")

@@ -38,6 +38,7 @@ split between *measured host execution* and *modelled cluster time*:
 
 from __future__ import annotations
 
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -48,7 +49,7 @@ import numpy as np
 from repro.core.config import PDTLConfig
 from repro.core.mgt import MGTResult, MGTWorker
 from repro.core.shm import SharedGraphDescriptor, attach_view
-from repro.core.triangles import CountingSink, ListingSink, PerVertexCountSink
+from repro.core.triangles import CHUNK_SINK_KINDS, make_sink, normalize_sink_kind
 from repro.errors import ConfigurationError, SchedulingError
 from repro.externalmem.blockio import BlockDevice, DiskModel
 from repro.externalmem.iostats import IOStats
@@ -235,8 +236,12 @@ class ChunkOutcome:
 
     ``triples`` holds the listed triangles as an ``(k, 3)`` int64 array when
     the sink kind is ``"list"``; ``per_vertex`` the per-vertex counts when it
-    is ``"per-vertex"``.  Arrays pickle cleanly, so the same payload shape
-    serves every backend.
+    is ``"per-vertex"``; ``support_positions``/``support_counts`` the chunk's
+    partial edge supports in sparse aggregated form (strictly increasing
+    oriented-edge positions with their counts -- the shape both the dense
+    and the budget-bound spilling :class:`~repro.core.triangles.EdgeSupportSink`
+    produce) when it is ``"edge-support"``.  Arrays pickle cleanly, so the
+    same payload shape serves every backend.
     """
 
     index: int
@@ -244,6 +249,8 @@ class ChunkOutcome:
     triangles: int
     triples: np.ndarray | None = None
     per_vertex: np.ndarray | None = None
+    support_positions: np.ndarray | None = None
+    support_counts: np.ndarray | None = None
 
 
 def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
@@ -269,7 +276,10 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
         graph = attach_view(task.shm, task.disk_model)
     else:
         device = BlockDevice(
-            task.device_root, block_size=task.device_block_size, model=task.disk_model
+            task.device_root,
+            block_size=task.device_block_size,
+            model=task.disk_model,
+            mmap_reads=task.config.mmap_reads,
         )
         graph = GraphFile(
             device=device,
@@ -279,28 +289,69 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
             directed=True,
             max_degree=task.max_degree,
         )
-    if task.sink_kind == "list":
-        sink: CountingSink | ListingSink | PerVertexCountSink = ListingSink()
-    elif task.sink_kind == "per-vertex":
-        sink = PerVertexCountSink(task.num_vertices)
+    sink_kind = normalize_sink_kind(task.sink_kind)
+    if sink_kind not in CHUNK_SINK_KINDS:
+        raise ConfigurationError(
+            f"sink kind {task.sink_kind!r} cannot run as a chunk task; "
+            f"supported kinds: {', '.join(CHUNK_SINK_KINDS)}"
+        )
+    # single registry dispatch -- an unregistered kind raises in make_sink
+    # instead of silently degrading to a default sink.  The edge-support
+    # sink honours the worker's memory budget M: when the dense per-edge
+    # support array would exceed it, positions spill as sorted runs to a
+    # private host-side scratch file (below the modelled accounting) and
+    # the outcome is assembled from the bounded external merge.
+    spill_scratch: tempfile.TemporaryDirectory | None = None
+    if sink_kind == "edge-support":
+        spill_scratch = tempfile.TemporaryDirectory(prefix="pdtl_spill_")
+        spill_device = BlockDevice(
+            spill_scratch.name,
+            block_size=task.device_block_size,
+            model=task.disk_model,
+        )
+        sink = make_sink(
+            sink_kind,
+            num_vertices=task.num_vertices,
+            graph=graph,
+            spill_file=spill_device.open("supports.run"),
+            memory_budget_bytes=task.config.memory_per_proc,
+        )
     else:
-        sink = CountingSink()
-    worker = MGTWorker(graph, task.config, range_start=task.start, range_stop=task.stop)
-    result = worker.run(sink)
-    triples: np.ndarray | None = None
-    per_vertex: np.ndarray | None = None
-    if task.sink_kind == "list":
-        triples = np.array(
-            [(t.cone, t.v, t.w) for t in sink.triangles], dtype=np.int64
-        ).reshape(-1, 3)
-    elif task.sink_kind == "per-vertex":
-        per_vertex = sink.per_vertex
+        sink = make_sink(sink_kind, num_vertices=task.num_vertices, graph=graph)
+    try:
+        worker = MGTWorker(
+            graph, task.config, range_start=task.start, range_stop=task.stop
+        )
+        result = worker.run(sink)
+        triples: np.ndarray | None = None
+        per_vertex: np.ndarray | None = None
+        support_positions: np.ndarray | None = None
+        support_counts: np.ndarray | None = None
+        if sink_kind == "list":
+            triples = np.array(
+                [(t.cone, t.v, t.w) for t in sink.triangles], dtype=np.int64
+            ).reshape(-1, 3)
+        elif sink_kind == "per-vertex":
+            per_vertex = sink.per_vertex
+        elif sink_kind == "edge-support":
+            parts = list(sink.iter_position_counts())
+            if parts:
+                support_positions = np.concatenate([p for p, _ in parts])
+                support_counts = np.concatenate([c for _, c in parts])
+            else:
+                support_positions = np.empty(0, dtype=np.int64)
+                support_counts = np.empty(0, dtype=np.int64)
+    finally:
+        if spill_scratch is not None:
+            spill_scratch.cleanup()
     return ChunkOutcome(
         index=task.index,
         result=result,
         triangles=result.triangles,
         triples=triples,
         per_vertex=per_vertex,
+        support_positions=support_positions,
+        support_counts=support_counts,
     )
 
 

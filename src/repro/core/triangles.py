@@ -12,22 +12,36 @@ sink:
   ``T/B`` output term of the I/O bound;
 * :class:`PerVertexCountSink` accumulates per-vertex triangle counts,
   which is what the clustering-coefficient application in the examples
-  needs.
+  needs;
+* :class:`EdgeSupportSink` accumulates per-*edge* triangle support (the
+  number of triangles each oriented edge participates in), keyed by the
+  packed ``(source, destination)`` keys of the oriented adjacency -- the
+  input of the k-truss decomposition in :mod:`repro.analytics`.  When the
+  dense support array would exceed a caller-supplied memory budget, the
+  sink spills sorted position runs to a block file and merges them
+  externally, so the accumulation working set stays bounded.
 
 Sinks receive *batches* as numpy arrays wherever possible: the MGT inner
 loop produces, for each (cone u, out-neighbour v) pair, the whole array of
 pivot endpoints ``w`` at once, so the sink interface is
 ``add_batch(u, v, ws)`` plus a scalar ``add(u, v, w)`` convenience.
+
+Sink construction is centralised in the :func:`make_sink` registry: every
+sink kind registers a factory under its name (``register_sink``), the
+chunk scheduler and the high-level runner both dispatch through the
+registry, and an unknown kind raises instead of silently falling back to
+a default sink.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Callable, Iterator, Protocol
 
 import numpy as np
 
+from repro.core import kernels
 from repro.externalmem.blockio import BlockFile
 from repro.utils import ceil_div
 
@@ -38,7 +52,14 @@ __all__ = [
     "ListingSink",
     "FileSink",
     "PerVertexCountSink",
+    "EdgeSupportSink",
+    "oriented_edge_array",
+    "oriented_edge_keys",
+    "register_sink",
+    "sink_kinds",
+    "normalize_sink_kind",
     "make_sink",
+    "CHUNK_SINK_KINDS",
 ]
 
 
@@ -275,21 +296,456 @@ class PerVertexCountSink:
         self.count += other.count
 
 
+def oriented_edge_array(graph) -> np.ndarray:
+    """Every oriented edge as an ``(m, 2)`` array in adjacency storage order.
+
+    Accepts an on-disk :class:`~repro.graph.binfmt.GraphFile`, a zero-copy
+    :class:`~repro.core.shm.SharedGraphView` or an in-memory oriented
+    :class:`~repro.graph.csr.CSRGraph`; row ``p`` is the edge stored at
+    adjacency position ``p``, the shared indexing contract of
+    :class:`EdgeSupportSink` and ``PDTLResult.edge_supports``.
+    """
+    indptr = getattr(graph, "indptr", None)
+    if indptr is not None:  # in-memory CSR
+        return np.stack([graph.edge_sources(), graph.indices], axis=1)
+    if graph.num_edges == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    offsets = graph.offsets()
+    sources = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64),
+        np.diff(offsets).astype(np.int64),
+    )
+    destinations = graph.read_adjacency_range(0, graph.num_edges)
+    return np.stack([sources, destinations], axis=1)
+
+
+#: Per-process cache of file-backed oriented edge keys, keyed on the
+#: adjacency file's identity (resolved path, mtime, size) so a chunked run
+#: builds the m-entry key array once per worker process instead of once
+#: per chunk.  Bounded LRU; host-side only (the skipped repeat reads were
+#: never part of the worker's modelled accounting).
+_EDGE_KEY_CACHE: dict = {}
+_EDGE_KEY_CACHE_MAX = 4
+
+
+def oriented_edge_keys(graph) -> np.ndarray:
+    """Sorted packed ``(source, destination)`` keys of every oriented edge.
+
+    A :class:`~repro.core.shm.SharedGraphView`'s published ``scan_keys``
+    are reused as-is (zero-copy); for a file-backed graph the keys are
+    built from one full adjacency read and memoised per process against
+    the file's (path, mtime, size) identity, so repeated chunk tasks over
+    the same oriented file pay the read once.  Both paths sit *below* the
+    worker's modelled accounting.  The adjacency is (source,
+    destination)-sorted in every representation, so the key array is
+    sorted and the key at position ``p`` identifies the oriented edge
+    stored at adjacency position ``p`` -- the indexing contract of
+    :class:`EdgeSupportSink`.
+    """
+    keys = getattr(graph, "scan_keys", None)
+    if keys is not None:
+        return np.asarray(keys)
+    cache_key = None
+    device = getattr(graph, "device", None)
+    if device is not None:  # file-backed: memoise against the file identity
+        try:
+            stat = device.path(graph.adjacency_file_name).stat()
+            cache_key = (str(device.path(graph.adjacency_file_name)),
+                         stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            cache_key = None
+        if cache_key is not None and cache_key in _EDGE_KEY_CACHE:
+            cached = _EDGE_KEY_CACHE.pop(cache_key)
+            _EDGE_KEY_CACHE[cache_key] = cached  # re-insert: LRU recency
+            return cached
+    edges = oriented_edge_array(graph)
+    result = kernels.packed_keys(edges[:, 0], edges[:, 1], graph.num_vertices)
+    if cache_key is not None:
+        result.flags.writeable = False  # shared across sinks in this process
+        _EDGE_KEY_CACHE[cache_key] = result
+        while len(_EDGE_KEY_CACHE) > _EDGE_KEY_CACHE_MAX:
+            _EDGE_KEY_CACHE.pop(next(iter(_EDGE_KEY_CACHE)))
+    return result
+
+
+class _SpillRun:
+    """Bounded-buffer cursor over one sorted position run in the spill file."""
+
+    __slots__ = ("file", "offset", "remaining", "buffer_items", "buf", "idx")
+
+    def __init__(
+        self, file: BlockFile, offset_items: int, length: int, buffer_items: int
+    ) -> None:
+        self.file = file
+        self.offset = offset_items
+        self.remaining = length
+        self.buffer_items = buffer_items
+        self.buf = np.empty(0, dtype=np.int64)
+        self.idx = 0
+
+    def ensure(self) -> None:
+        """Refill the buffer from disk when it is fully consumed."""
+        if self.idx < self.buf.shape[0] or self.remaining == 0:
+            return
+        take = min(self.buffer_items, self.remaining)
+        self.buf = self.file.read_array(self.offset, take)
+        self.offset += take
+        self.remaining -= take
+        self.idx = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.idx >= self.buf.shape[0] and self.remaining == 0
+
+    def take_upto(self, bound: int | None) -> np.ndarray:
+        """Consume and return buffered values ``<= bound`` (all, if None)."""
+        if bound is None:
+            out = self.buf[self.idx :]
+            self.idx = self.buf.shape[0]
+            return out
+        stop = int(np.searchsorted(self.buf, bound, side="right"))
+        out = self.buf[self.idx : stop]
+        self.idx = max(self.idx, stop)
+        return out
+
+
+class EdgeSupportSink:
+    """Accumulates, for every oriented edge, the number of triangles it is in.
+
+    A triangle ``(u, v, w)`` in cone/pivot orientation (``u ≺ v ≺ w``)
+    consists of the three oriented edges ``(u, v)``, ``(u, w)`` and
+    ``(v, w)``, all of which are stored in the oriented adjacency file;
+    each reported triangle therefore contributes one unit of *support* to
+    three edge positions.  Positions are resolved with a single vectorised
+    binary search of the packed ``(source, destination)`` keys against the
+    sorted whole-graph key array (:func:`oriented_edge_keys` /
+    :func:`repro.core.kernels.packed_keys`), the same primitive the MGT
+    inner loop uses for membership.
+
+    Two accumulation modes:
+
+    * **dense** (default): an int64 array with one slot per oriented edge,
+      updated with ``np.add.at`` -- exact, and mergeable across chunk tasks
+      with :meth:`merge` (integer addition commutes, so partial supports
+      from any chunk partition combine bit-identically);
+    * **spill**: when ``memory_budget_bytes`` is given and the dense array
+      would exceed it, positions accumulate in a bounded buffer that is
+      sorted and appended to ``spill_file`` as a run whenever it fills;
+      :meth:`iter_position_counts` then merges the runs externally with
+      bounded per-run buffers (the external-sort discipline), yielding
+      strictly increasing ``(positions, counts)`` batches.  All spill I/O
+      goes through the block layer, so it is charged to the spill file's
+      device -- deterministically, because the run contents are a pure
+      function of the triangle stream and the budget.
+    """
+
+    __slots__ = (
+        "count",
+        "edge_keys",
+        "num_vertices",
+        "num_edges",
+        "support",
+        "_spill_file",
+        "_buffer",
+        "_fill",
+        "_runs",
+    )
+
+    def __init__(
+        self,
+        edge_keys: np.ndarray,
+        num_vertices: int,
+        spill_file: BlockFile | None = None,
+        memory_budget_bytes: int | None = None,
+    ) -> None:
+        self.count = 0
+        self.edge_keys = np.asarray(edge_keys, dtype=np.int64)
+        self.num_vertices = int(num_vertices)
+        self.num_edges = int(self.edge_keys.shape[0])
+        spilling = (
+            memory_budget_bytes is not None
+            and self.num_edges * 8 > int(memory_budget_bytes)
+        )
+        if spilling:
+            if spill_file is None:
+                raise ValueError(
+                    "memory_budget_bytes below the dense support array "
+                    f"({self.num_edges * 8} bytes) requires a spill_file"
+                )
+            self.support: np.ndarray | None = None
+            self._buffer = np.empty(
+                max(int(memory_budget_bytes) // 8, 16), dtype=np.int64
+            )
+            self._spill_file = spill_file
+        else:
+            self.support = np.zeros(self.num_edges, dtype=np.int64)
+            self._buffer = None
+            self._spill_file = None
+        self._fill = 0
+        self._runs: list[int] = []
+
+    @property
+    def spilling(self) -> bool:
+        return self.support is None
+
+    # -- position resolution ------------------------------------------------------
+
+    def _positions(self, sources: np.ndarray, destinations: np.ndarray) -> np.ndarray:
+        queries = kernels.packed_keys(sources, destinations, self.num_vertices)
+        pos = np.searchsorted(self.edge_keys, queries)
+        if pos.shape[0]:
+            clipped = np.minimum(pos, self.num_edges - 1)
+            if self.num_edges == 0 or not np.array_equal(
+                self.edge_keys[clipped], queries
+            ):
+                raise ValueError(
+                    "triangle references a pair that is not an oriented edge"
+                )
+        return pos
+
+    def _record(self, positions: np.ndarray) -> None:
+        if self.support is not None:
+            np.add.at(self.support, positions, 1)
+            return
+        cursor = 0
+        total = positions.shape[0]
+        capacity = self._buffer.shape[0]
+        while cursor < total:
+            take = min(capacity - self._fill, total - cursor)
+            self._buffer[self._fill : self._fill + take] = positions[
+                cursor : cursor + take
+            ]
+            self._fill += take
+            cursor += take
+            if self._fill == capacity:
+                self._flush_run()
+
+    def _flush_run(self) -> None:
+        if self._fill == 0:
+            return
+        run = np.sort(self._buffer[: self._fill])
+        self._spill_file.append_array(run)
+        self._runs.append(self._fill)
+        self._fill = 0
+
+    # -- TriangleSink interface ---------------------------------------------------
+
+    def add(self, u: int, v: int, w: int) -> None:
+        self.add_triples(
+            np.array([u], dtype=np.int64),
+            np.array([v], dtype=np.int64),
+            np.array([w], dtype=np.int64),
+        )
+
+    def add_batch(self, u: int, v: int, ws: np.ndarray) -> None:
+        n = int(ws.shape[0])
+        if n == 0:
+            return
+        self.add_triples(
+            np.full(n, u, dtype=np.int64), np.full(n, v, dtype=np.int64), ws
+        )
+
+    def add_triples(self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray) -> None:
+        n = int(ws.shape[0])
+        if n == 0:
+            return
+        sources = np.concatenate((us, us, vs))
+        destinations = np.concatenate((vs, ws, ws))
+        self._record(self._positions(sources, destinations))
+        self.count += n
+
+    # -- results ------------------------------------------------------------------
+
+    def merge(self, other: "EdgeSupportSink") -> None:
+        """Combine partial supports exactly (dense mode on both sides)."""
+        if self.support is None or other.support is None:
+            raise ValueError("merge requires dense supports on both sinks")
+        if other.support.shape[0] != self.num_edges:
+            raise ValueError("cannot merge supports of different edge counts")
+        self.support += other.support
+        self.count += other.count
+
+    def iter_position_counts(
+        self, buffer_items: int = 8192
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Aggregated ``(positions, counts)`` batches, positions strictly
+        increasing across the whole iteration (each position appears once).
+
+        Dense mode yields the nonzero entries in one batch.  Spill mode
+        flushes the tail run and k-way merges the sorted runs with one
+        bounded buffer per run: every round takes the values no future
+        block can precede (``<=`` the smallest last-loaded element among
+        runs with data still on disk), aggregates them with ``np.unique``,
+        and holds the boundary position back as a carry because later
+        blocks may still contribute to it.
+        """
+        if buffer_items <= 0:
+            raise ValueError("buffer_items must be positive")
+        if self.support is not None:
+            positions = np.nonzero(self.support)[0]
+            if positions.shape[0]:
+                yield positions, self.support[positions]
+            return
+        self._flush_run()
+        starts = np.zeros(len(self._runs) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(self._runs, dtype=np.int64), out=starts[1:])
+        cursors = [
+            _SpillRun(self._spill_file, int(starts[i]), length, buffer_items)
+            for i, length in enumerate(self._runs)
+        ]
+        carry_pos: int | None = None
+        carry_cnt = 0
+        while cursors:
+            for cursor in cursors:
+                cursor.ensure()
+            cursors = [c for c in cursors if not c.exhausted]
+            if not cursors:
+                break
+            on_disk = [c for c in cursors if c.remaining > 0]
+            bound = (
+                min(int(c.buf[-1]) for c in on_disk) if on_disk else None
+            )
+            taken = [c.take_upto(bound) for c in cursors]
+            merged = np.concatenate([t for t in taken if t.shape[0]])
+            positions, counts = np.unique(merged, return_counts=True)
+            if carry_pos is not None:
+                if positions.shape[0] and int(positions[0]) == carry_pos:
+                    counts[0] += carry_cnt
+                else:
+                    yield (
+                        np.array([carry_pos], dtype=np.int64),
+                        np.array([carry_cnt], dtype=np.int64),
+                    )
+                carry_pos, carry_cnt = None, 0
+            if bound is not None and positions.shape[0] and int(positions[-1]) == bound:
+                carry_pos, carry_cnt = int(positions[-1]), int(counts[-1])
+                positions, counts = positions[:-1], counts[:-1]
+            if positions.shape[0]:
+                yield positions, counts
+        if carry_pos is not None:
+            yield (
+                np.array([carry_pos], dtype=np.int64),
+                np.array([carry_cnt], dtype=np.int64),
+            )
+
+    def supports(self) -> np.ndarray:
+        """The dense per-edge support array (materialised from the runs when
+        spilling -- the merge itself stays within the bounded buffers)."""
+        if self.support is not None:
+            return self.support
+        out = np.zeros(self.num_edges, dtype=np.int64)
+        for positions, counts in self.iter_position_counts():
+            out[positions] = counts
+        return out
+
+
+# ---------------------------------------------------------------------------
+# sink registry
+# ---------------------------------------------------------------------------
+
+#: Sink kinds a picklable chunk task can construct worker-side (``file`` is
+#: excluded: a :class:`FileSink` binds a host-local handle that cannot cross
+#: a process boundary).
+CHUNK_SINK_KINDS = ("count", "list", "per-vertex", "edge-support")
+
+_SINK_FACTORIES: dict[str, Callable[..., TriangleSink]] = {}
+
+
+def register_sink(kind: str) -> Callable:
+    """Register a sink factory under ``kind`` (used as a decorator).
+
+    Factories receive the keyword context of :func:`make_sink`
+    (``num_vertices``, ``file``, ``graph``, ``spill_file``,
+    ``memory_budget_bytes``) and must ignore what they do not need.
+    """
+
+    def decorator(factory: Callable[..., TriangleSink]) -> Callable[..., TriangleSink]:
+        _SINK_FACTORIES[kind] = factory
+        return factory
+
+    return decorator
+
+
+def sink_kinds() -> tuple[str, ...]:
+    """Every registered sink kind, sorted."""
+    return tuple(sorted(_SINK_FACTORIES))
+
+
+def normalize_sink_kind(kind: str) -> str:
+    """Accept ``edge_support`` as a spelling of ``edge-support`` and so on."""
+    return str(kind).replace("_", "-")
+
+
 def make_sink(
-    kind: str, num_vertices: int | None = None, file: BlockFile | None = None
+    kind: str,
+    num_vertices: int | None = None,
+    file: BlockFile | None = None,
+    graph=None,
+    spill_file: BlockFile | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> TriangleSink:
-    """Factory used by the high-level runner: ``count``, ``list``, ``file`` or
-    ``per-vertex``."""
-    if kind == "count":
-        return CountingSink()
-    if kind == "list":
-        return ListingSink()
-    if kind == "file":
-        if file is None:
-            raise ValueError("file sink requires a BlockFile")
-        return FileSink(file)
-    if kind == "per-vertex":
-        if num_vertices is None:
-            raise ValueError("per-vertex sink requires num_vertices")
-        return PerVertexCountSink(num_vertices)
-    raise ValueError(f"unknown sink kind {kind!r}")
+    """Build a sink by registered kind: ``count``, ``list``, ``file``,
+    ``per-vertex`` or ``edge-support``.
+
+    This is the single dispatch point for every layer (high-level runner,
+    chunk scheduler, tests); an unregistered kind raises ``ValueError``
+    instead of silently falling back to a default sink.
+    """
+    factory = _SINK_FACTORIES.get(normalize_sink_kind(kind))
+    if factory is None:
+        raise ValueError(
+            f"unknown sink kind {kind!r}; registered kinds: "
+            f"{', '.join(sink_kinds())}"
+        )
+    return factory(
+        num_vertices=num_vertices,
+        file=file,
+        graph=graph,
+        spill_file=spill_file,
+        memory_budget_bytes=memory_budget_bytes,
+    )
+
+
+@register_sink("count")
+def _make_counting_sink(**_context) -> CountingSink:
+    return CountingSink()
+
+
+@register_sink("list")
+def _make_listing_sink(**_context) -> ListingSink:
+    return ListingSink()
+
+
+@register_sink("file")
+def _make_file_sink(file: BlockFile | None = None, **_context) -> FileSink:
+    if file is None:
+        raise ValueError("file sink requires a BlockFile")
+    return FileSink(file)
+
+
+@register_sink("per-vertex")
+def _make_per_vertex_sink(
+    num_vertices: int | None = None, graph=None, **_context
+) -> PerVertexCountSink:
+    if num_vertices is None and graph is not None:
+        num_vertices = graph.num_vertices
+    if num_vertices is None:
+        raise ValueError("per-vertex sink requires num_vertices")
+    return PerVertexCountSink(num_vertices)
+
+
+@register_sink("edge-support")
+def _make_edge_support_sink(
+    graph=None,
+    spill_file: BlockFile | None = None,
+    memory_budget_bytes: int | None = None,
+    **_context,
+) -> EdgeSupportSink:
+    if graph is None:
+        raise ValueError("edge-support sink requires the oriented graph")
+    return EdgeSupportSink(
+        oriented_edge_keys(graph),
+        graph.num_vertices,
+        spill_file=spill_file,
+        memory_budget_bytes=memory_budget_bytes,
+    )

@@ -17,7 +17,7 @@ data genuinely leaves process memory -- the memory budget of an MGT worker
 only ever holds the ``Θ(M)`` edge window plus per-vertex scratch arrays,
 exactly as in the paper.
 
-Two host-side buffering layers sit **strictly below** the accounting, so
+Three host-side buffering layers sit **strictly below** the accounting, so
 they change wall-clock cost only -- never a single counter of
 :class:`~repro.externalmem.iostats.IOStats` nor a microsecond of modelled
 device time:
@@ -30,11 +30,19 @@ device time:
   (:meth:`BlockFile.set_readahead`): sequential scans then hit the host
   filesystem once per buffer instead of once per logical read, while every
   logical read is still accounted at exactly its requested offset and
-  length.
+  length;
+* a device constructed with ``mmap_reads=True`` serves reads from a cached
+  read-only ``mmap`` of each file instead of issuing one ``pread`` syscall
+  per logical read (ROADMAP's named candidate for the non-shm backends).
+  Mappings are invalidated on every write path through the device, and a
+  read the current mapping cannot serve falls back to ``pread``, so the
+  returned bytes -- and therefore every accounted length -- are identical
+  with the flag on or off.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 import shutil
 import threading
@@ -110,6 +118,9 @@ class BlockDevice:
         block size ``B`` in bytes; all I/O is rounded to whole blocks.
     model:
         optional :class:`DiskModel` used to accumulate modelled device time.
+    mmap_reads:
+        serve reads from cached read-only memory maps (see the module
+        docstring); strictly below the accounting layer.
     """
 
     def __init__(
@@ -117,6 +128,7 @@ class BlockDevice:
         root: str | os.PathLike[str],
         block_size: int | str = DEFAULT_BLOCK_SIZE,
         model: DiskModel | None = None,
+        mmap_reads: bool = False,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -133,6 +145,10 @@ class BlockDevice:
         # component, which dominated fine-grained access patterns
         self._root_resolved = self.root.resolve()
         self._path_cache: dict[str, Path] = {}
+        # mmap read cache (host-side only, invisible to the accounting)
+        self.mmap_reads = bool(mmap_reads)
+        self._mmap_lock = threading.Lock()
+        self._mmaps: dict[str, mmap.mmap] = {}
 
     # -- file management -------------------------------------------------------
 
@@ -159,6 +175,7 @@ class BlockDevice:
 
     def delete(self, name: str) -> None:
         self._close_fd(name)
+        self._invalidate_mmap(name)
         p = self.path(name)
         if p.exists():
             p.unlink()
@@ -194,6 +211,7 @@ class BlockDevice:
         dst_path = other.path(dest_name)
         dst_path.parent.mkdir(parents=True, exist_ok=True)
         other._close_fd(dest_name)
+        other._invalidate_mmap(dest_name)
         shutil.copyfile(src_path, dst_path)
         blocks = ceil_div(nbytes, self.block_size) if nbytes else 0
         self.stats.record_read(blocks, nbytes, sequential=True)
@@ -254,6 +272,52 @@ class BlockDevice:
                 entry.closed = True
                 os.close(entry.fd)
 
+    # -- mmap read cache (below the accounting layer) -----------------------------
+
+    def _mmap_pread(self, name: str, path: Path, nbytes: int, offset: int):
+        """Serve a read from a cached read-only mapping of ``name``.
+
+        Returns the bytes (truncated at EOF exactly like ``os.pread``), or
+        ``None`` when the mapping cannot serve the request -- missing or
+        empty file (an empty file cannot be mapped) -- in which case the
+        caller falls back to ``pread`` so error behaviour is unchanged.
+        A request past the mapped size triggers a size probe: the mapping
+        is rebuilt when the file has grown, otherwise the short read is
+        served from the existing map.
+        """
+        if nbytes <= 0:
+            return None  # let pread keep its exact zero-length/error behaviour
+        with self._mmap_lock:
+            mapped = self._mmaps.get(name)
+            if mapped is None or offset + nbytes > len(mapped):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    return None
+                if mapped is not None and size != len(mapped):
+                    self._mmaps.pop(name, None)
+                    mapped.close()
+                    mapped = None
+                if mapped is None:
+                    if size == 0:
+                        return None
+                    fd = os.open(path, os.O_RDONLY)
+                    try:
+                        mapped = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+                    finally:
+                        os.close(fd)
+                    self._mmaps[name] = mapped
+            return mapped[offset : offset + nbytes]
+
+    def _invalidate_mmap(self, name: str) -> None:
+        """Drop the cached mapping after any write path touches ``name``."""
+        if not self.mmap_reads:
+            return
+        with self._mmap_lock:
+            mapped = self._mmaps.pop(name, None)
+            if mapped is not None:
+                mapped.close()
+
     def _close_fd(self, name: str) -> None:
         with self._fd_lock:
             entry = self._fds.pop(name, None)
@@ -278,6 +342,11 @@ class BlockDevice:
                 os.close(fd)
             except OSError:  # pragma: no cover - already closed elsewhere
                 pass
+        with self._mmap_lock:
+            maps = list(self._mmaps.values())
+            self._mmaps.clear()
+            for mapped in maps:
+                mapped.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown order
         try:
@@ -366,6 +435,10 @@ class BlockFile:
         self._ra_window = (-1, b"")
 
     def _pread(self, nbytes: int, offset: int) -> bytes:
+        if self.device.mmap_reads:
+            data = self.device._mmap_pread(self.name, self.path, nbytes, offset)
+            if data is not None:
+                return data
         entry = self.device._acquire_fd(self.name, self.path, create=False)
         try:
             return os.pread(entry.fd, nbytes, offset)
@@ -420,6 +493,7 @@ class BlockFile:
         finally:
             self.device._release_fd(entry)
         self._invalidate_readahead()
+        self.device._invalidate_mmap(self.name)
         self.device._account(self.name, offset, len(data), write=True)
         return len(data)
 
@@ -432,6 +506,7 @@ class BlockFile:
         finally:
             self.device._release_fd(entry)
         self._invalidate_readahead()
+        self.device._invalidate_mmap(self.name)
         self.device._account(self.name, offset, len(data), write=True)
         return len(data)
 
@@ -442,6 +517,7 @@ class BlockFile:
         finally:
             self.device._release_fd(entry)
         self._invalidate_readahead()
+        self.device._invalidate_mmap(self.name)
 
     # -- typed numpy interface -------------------------------------------------------
 

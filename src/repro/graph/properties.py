@@ -27,6 +27,7 @@ __all__ = [
     "min_degree_edge_sum",
     "triangle_count_upper_bound",
     "clustering_coefficient",
+    "per_vertex_counts_from_edge_supports",
     "transitivity",
     "degree_histogram",
 ]
@@ -141,6 +142,33 @@ def clustering_coefficient(
     with np.errstate(divide="ignore", invalid="ignore"):
         coeff = np.where(possible > 0, tri / possible, 0.0)
     return coeff
+
+
+def per_vertex_counts_from_edge_supports(
+    num_vertices: int, edges: np.ndarray, supports: np.ndarray
+) -> np.ndarray:
+    """Per-vertex triangle counts from per-edge triangle supports.
+
+    Every triangle containing vertex ``v`` contains exactly two edges
+    incident to ``v``, so the triangles at ``v`` are half the summed
+    support of its incident edges -- an exact integer identity that lets
+    one ``edge-support`` PDTL run also serve the clustering-coefficient
+    analyses (no second pass over the triangle stream).
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    supports = np.asarray(supports, dtype=np.int64)
+    if edges.shape[0] != supports.shape[0]:
+        raise ValueError(
+            f"got {supports.shape[0]} supports for {edges.shape[0]} edges"
+        )
+    incident = np.zeros(num_vertices, dtype=np.int64)
+    np.add.at(incident, edges[:, 0], supports)
+    np.add.at(incident, edges[:, 1], supports)
+    if np.any(incident & 1):
+        raise ValueError(
+            "incident support sum is odd at some vertex; corrupt supports"
+        )
+    return incident // 2
 
 
 def transitivity(graph: CSRGraph, total_triangles: int) -> float:

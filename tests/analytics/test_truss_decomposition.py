@@ -1,0 +1,172 @@
+"""Unit tests for the vectorised k-truss decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.truss import (
+    TrussResult,
+    canonical_edges,
+    truss_decomposition,
+    trussness_reference,
+    truss_summary_rows,
+    undirected_edge_supports,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import complete_graph, erdos_renyi, ring_graph
+
+
+def graph_from_edges(edges, n):
+    return CSRGraph.from_edgelist(EdgeList(np.array(edges, dtype=np.int64), n))
+
+
+class TestCanonicalEdges:
+    def test_lexicographic_u_lt_v(self):
+        graph = CSRGraph.from_edgelist(complete_graph(4))
+        edges = canonical_edges(graph)
+        assert edges.shape == (6, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+        keys = edges[:, 0] * 4 + edges[:, 1]
+        assert np.all(np.diff(keys) > 0)
+
+    def test_rejects_directed(self):
+        from repro.core.orientation import orient_csr
+
+        oriented = orient_csr(CSRGraph.from_edgelist(complete_graph(4)))
+        with pytest.raises(ValueError):
+            canonical_edges(oriented)
+
+
+class TestUndirectedEdgeSupports:
+    def test_triangle_graph(self):
+        graph = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)], 4)
+        supports = undirected_edge_supports(graph)
+        # canonical order: (0,1), (0,2), (1,2), (2,3)
+        np.testing.assert_array_equal(supports, [1, 1, 1, 0])
+
+    def test_sum_is_three_times_triangles(self):
+        from repro.baselines.inmemory import forward_count
+
+        graph = CSRGraph.from_edgelist(erdos_renyi(50, 0.2, seed=3))
+        assert int(undirected_edge_supports(graph).sum()) == 3 * forward_count(graph)
+
+    def test_batching_is_invisible(self):
+        graph = CSRGraph.from_edgelist(erdos_renyi(60, 0.2, seed=4))
+        np.testing.assert_array_equal(
+            undirected_edge_supports(graph),
+            undirected_edge_supports(graph, batch_edges=7),
+        )
+
+
+class TestTrussDecomposition:
+    def test_complete_graph_single_truss(self):
+        result = truss_decomposition(CSRGraph.from_edgelist(complete_graph(6)))
+        assert np.all(result.trussness == 6)
+        assert result.max_k == 6
+
+    def test_triangle_free_graph_all_two(self):
+        result = truss_decomposition(CSRGraph.from_edgelist(ring_graph(10)))
+        assert np.all(result.trussness == 2)
+        assert result.max_k == 2
+
+    def test_two_cliques_with_bridge(self):
+        """Two K4s joined by a bridge edge: clique edges truss 4, bridge 2."""
+        edges = []
+        for base in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    edges.append((base + i, base + j))
+        edges.append((3, 4))  # the bridge, in no triangle
+        graph = graph_from_edges(edges, 8)
+        result = truss_decomposition(graph)
+        canon = canonical_edges(graph)
+        bridge = np.nonzero((canon[:, 0] == 3) & (canon[:, 1] == 4))[0]
+        assert result.trussness[bridge] == 2
+        others = np.ones(canon.shape[0], dtype=bool)
+        others[bridge] = False
+        assert np.all(result.trussness[others] == 4)
+
+    def test_accepts_precomputed_supports(self):
+        graph = CSRGraph.from_edgelist(erdos_renyi(40, 0.25, seed=9))
+        edges = canonical_edges(graph)
+        supports = undirected_edge_supports(graph, edges)
+        given = truss_decomposition(graph, supports=supports, edges=edges)
+        derived = truss_decomposition(graph)
+        np.testing.assert_array_equal(given.trussness, derived.trussness)
+
+    def test_support_length_mismatch_raises(self):
+        graph = CSRGraph.from_edgelist(complete_graph(4))
+        with pytest.raises(ValueError):
+            truss_decomposition(graph, supports=np.zeros(3, dtype=np.int64))
+
+    def test_rejects_directed(self):
+        from repro.core.orientation import orient_csr
+
+        oriented = orient_csr(CSRGraph.from_edgelist(complete_graph(4)))
+        with pytest.raises(ValueError):
+            truss_decomposition(oriented)
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edgelist(EdgeList(np.empty((0, 2), dtype=np.int64), 5))
+        result = truss_decomposition(graph)
+        assert result.num_edges == 0
+        assert result.max_k == 2
+        assert result.summary_rows() == []
+
+    def test_matches_reference_on_random_graph(self):
+        graph = CSRGraph.from_edgelist(erdos_renyi(70, 0.2, seed=11))
+        np.testing.assert_array_equal(
+            truss_decomposition(graph).trussness, trussness_reference(graph)
+        )
+
+    def test_matches_networkx_k_truss(self):
+        """Independent oracle: every k-truss subgraph equals networkx's."""
+        nx = pytest.importorskip("networkx")
+        graph = CSRGraph.from_edgelist(erdos_renyi(80, 0.12, seed=3))
+        result = truss_decomposition(graph)
+        reference = nx.Graph(list(map(tuple, canonical_edges(graph))))
+        for k in range(2, result.max_k + 2):  # one past max_k: empty truss
+            ours = {
+                tuple(edge) for edge in canonical_edges(result.truss_subgraph(k))
+            }
+            theirs = {
+                tuple(sorted(edge)) for edge in nx.k_truss(reference, k).edges()
+            }
+            assert ours == theirs, k
+
+
+class TestTrussResultHelpers:
+    @pytest.fixture()
+    def result(self) -> TrussResult:
+        return truss_decomposition(CSRGraph.from_edgelist(erdos_renyi(50, 0.25, seed=2)))
+
+    def test_truss_edge_mask_monotone(self, result):
+        for k in range(2, result.max_k + 1):
+            assert np.all(result.truss_edge_mask(k + 1) <= result.truss_edge_mask(k))
+
+    def test_truss_subgraph_edge_counts(self, result):
+        for k in range(2, result.max_k + 1):
+            sub = result.truss_subgraph(k)
+            assert sub.num_undirected_edges == int(
+                np.count_nonzero(result.truss_edge_mask(k))
+            )
+
+    def test_summary_rows_shape(self, result):
+        rows = result.summary_rows()
+        assert rows[0]["k"] == 2
+        assert rows[0]["truss_edges"] == result.num_edges
+        assert rows[-1]["k"] == result.max_k
+        peeled = sum(r["edges_peeled_at_k"] for r in rows)
+        assert peeled == result.num_edges
+
+    def test_summary_rows_standalone(self, result):
+        rows = truss_summary_rows(result.edges, result.trussness)
+        assert rows == result.summary_rows()
+
+    def test_report_table_renders(self, result):
+        from repro.analysis.report import truss_summary_table
+
+        table = truss_summary_table(result.summary_rows(), title="truss")
+        assert "truss_edges" in table and table.startswith("truss")

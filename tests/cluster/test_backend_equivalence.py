@@ -150,6 +150,22 @@ class TestSinkKindsAcrossBackends:
             result = _run(graph, scheduling, backend, shm, sink_kind="count")
             assert result.triangles == expected, label
 
+    def test_edge_supports_identical_across_backends(self, graph, expected, scheduling):
+        """Per-edge triangle supports are merged by chunk index from exact
+        integer partials, so every backend must report the same array bit
+        for bit -- the contract the k-truss analytics build on."""
+        arrays = []
+        for label, backend, shm in _backends():
+            result = _run(graph, scheduling, backend, shm, sink_kind="edge-support")
+            assert int(result.edge_supports.sum()) == 3 * expected, label
+            assert result.oriented_edges.shape == (
+                result.edge_supports.shape[0],
+                2,
+            ), label
+            arrays.append(result.edge_supports)
+        for array in arrays[1:]:
+            np.testing.assert_array_equal(arrays[0], array)
+
 
 class TestDynamicMatchesStatic:
     def test_dynamic_equals_static_per_backend(self, graph, expected):
@@ -179,3 +195,54 @@ class TestDynamicMatchesStatic:
             assert jittered.triangles == reference.triangles, label
             assert jittered.calc_seconds == reference.calc_seconds, label
             assert jittered.total_io_seconds == reference.total_io_seconds, label
+
+    def test_edge_supports_survive_failure_and_straggler_injection(
+        self, graph, expected
+    ):
+        """Killed workers' chunks are re-executed and modelled stragglers
+        re-balance the replay -- neither may change a single support."""
+        reference = _run(graph, "dynamic", "serial", False, sink_kind="edge-support")
+        for label, backend, shm in _backends():
+            injected = _run(
+                graph,
+                "dynamic",
+                backend,
+                shm,
+                sink_kind="edge-support",
+                failure_spec={0: 1, 2: 0},
+                straggler_spec={1: 4.0},
+                host_jitter_seconds=0.005,
+            )
+            assert injected.triangles == expected, label
+            assert injected.metrics.total_chunks_retried >= 1, label
+            np.testing.assert_array_equal(
+                injected.edge_supports, reference.edge_supports, err_msg=label
+            )
+
+
+class TestMmapReadsEquivalence:
+    """``mmap_reads`` is a host-side read strategy strictly below the
+    accounting layer: every modelled quantity must be bit-identical with
+    the flag on or off, on every backend."""
+
+    def test_mmap_on_off_bit_identical(self, graph, expected):
+        reference = _run(graph, "dynamic", "serial", False, sink_kind="edge-support")
+        for label, backend, shm in _backends():
+            mapped = _run(
+                graph,
+                "dynamic",
+                backend,
+                shm,
+                sink_kind="edge-support",
+                mmap_reads=True,
+            )
+            assert mapped.triangles == expected, label
+            assert mapped.calc_seconds == reference.calc_seconds, label
+            assert mapped.total_io_seconds == reference.total_io_seconds, label
+            np.testing.assert_array_equal(
+                mapped.edge_supports, reference.edge_supports, err_msg=label
+            )
+            for ours, theirs in zip(mapped.workers, reference.workers):
+                assert (
+                    ours.result.io_stats.as_dict() == theirs.result.io_stats.as_dict()
+                ), label

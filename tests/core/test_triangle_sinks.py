@@ -209,3 +209,219 @@ class TestFileSinkBlockAlignedCharge:
         assert len(triangles) == n
         assert triangles[0] == Triangle(0, 1, 2)
         assert triangles[-1] == Triangle(n - 1, n, n + 1)
+
+
+class TestEdgeSupportSink:
+    """Dense and spilling accumulation of per-edge triangle supports."""
+
+    @pytest.fixture()
+    def oriented_stream(self):
+        """An oriented CSR graph, its edge keys, and its full triangle stream."""
+        from repro.core import kernels
+        from repro.core.orientation import orient_csr
+        from repro.core.triangles import oriented_edge_keys
+        from repro.graph.csr import CSRGraph
+        from repro.graph.generators import rmat
+
+        oriented = orient_csr(CSRGraph.from_edgelist(rmat(6, edge_factor=8, seed=21)))
+        keys = oriented_edge_keys(oriented)
+        cones, vs, ws, _ = kernels.triangle_range(
+            oriented.indptr, oriented.indices, 0, oriented.num_vertices,
+            want_triples=True,
+        )
+        return oriented, keys, (cones, vs, ws)
+
+    def test_dense_support_sums_to_three_triangles(self, oriented_stream):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        sink = EdgeSupportSink(keys, oriented.num_vertices)
+        sink.add_triples(cones, vs, ws)
+        assert not sink.spilling
+        assert sink.count == ws.shape[0]
+        assert int(sink.supports().sum()) == 3 * sink.count
+
+    def test_scalar_and_batch_paths_agree(self, oriented_stream):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        batched = EdgeSupportSink(keys, oriented.num_vertices)
+        batched.add_triples(cones, vs, ws)
+        scalar = EdgeSupportSink(keys, oriented.num_vertices)
+        for u, v, w in zip(cones.tolist(), vs.tolist(), ws.tolist()):
+            scalar.add(u, v, w)
+        np.testing.assert_array_equal(scalar.supports(), batched.supports())
+
+    def test_merge_combines_partials_exactly(self, oriented_stream):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        whole = EdgeSupportSink(keys, oriented.num_vertices)
+        whole.add_triples(cones, vs, ws)
+        merged = EdgeSupportSink(keys, oriented.num_vertices)
+        cut = ws.shape[0] // 3
+        for lo, hi in ((0, cut), (cut, 2 * cut), (2 * cut, ws.shape[0])):
+            part = EdgeSupportSink(keys, oriented.num_vertices)
+            part.add_triples(cones[lo:hi], vs[lo:hi], ws[lo:hi])
+            merged.merge(part)
+        np.testing.assert_array_equal(merged.supports(), whole.supports())
+        assert merged.count == whole.count
+
+    def test_non_edge_triangle_raises(self, oriented_stream):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, _ = oriented_stream
+        sink = EdgeSupportSink(keys, oriented.num_vertices)
+        with pytest.raises(ValueError):
+            sink.add(0, oriented.num_vertices - 1, oriented.num_vertices - 2)
+
+    def test_spill_requires_file(self, oriented_stream):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, _ = oriented_stream
+        with pytest.raises(ValueError):
+            EdgeSupportSink(keys, oriented.num_vertices, memory_budget_bytes=8)
+
+    def test_spill_matches_dense(self, oriented_stream, tmp_path):
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        dense = EdgeSupportSink(keys, oriented.num_vertices)
+        dense.add_triples(cones, vs, ws)
+        device = BlockDevice(tmp_path, block_size=512)
+        spill = EdgeSupportSink(
+            keys,
+            oriented.num_vertices,
+            spill_file=device.open("spill.run"),
+            memory_budget_bytes=256,  # far below the dense array: many runs
+        )
+        assert spill.spilling
+        step = 23  # ragged batches so runs straddle triangle boundaries
+        for lo in range(0, ws.shape[0], step):
+            spill.add_triples(
+                cones[lo : lo + step], vs[lo : lo + step], ws[lo : lo + step]
+            )
+        np.testing.assert_array_equal(spill.supports(), dense.supports())
+
+    def test_spill_iter_positions_strictly_increasing(
+        self, oriented_stream, tmp_path
+    ):
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        device = BlockDevice(tmp_path, block_size=512)
+        spill = EdgeSupportSink(
+            keys,
+            oriented.num_vertices,
+            spill_file=device.open("spill.run"),
+            memory_budget_bytes=128,
+        )
+        spill.add_triples(cones, vs, ws)
+        positions = []
+        total = 0
+        for pos, cnt in spill.iter_position_counts(buffer_items=13):
+            positions.append(pos)
+            total += int(cnt.sum())
+        merged = np.concatenate(positions)
+        assert np.all(np.diff(merged) > 0)  # unique and sorted across batches
+        assert total == 3 * ws.shape[0]
+
+    def test_spill_io_is_deterministic(self, oriented_stream, tmp_path):
+        """Identical streams + budget => identical spill IOStats."""
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        stats = []
+        for run in range(2):
+            device = BlockDevice(tmp_path / f"dev{run}", block_size=512)
+            sink = EdgeSupportSink(
+                keys,
+                oriented.num_vertices,
+                spill_file=device.open("spill.run"),
+                memory_budget_bytes=256,
+            )
+            sink.add_triples(cones, vs, ws)
+            sink.supports()
+            stats.append(device.stats.as_dict())
+        assert stats[0] == stats[1]
+
+    def test_spill_merge_rejected(self, oriented_stream, tmp_path):
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, _ = oriented_stream
+        device = BlockDevice(tmp_path, block_size=512)
+        spill = EdgeSupportSink(
+            keys,
+            oriented.num_vertices,
+            spill_file=device.open("s.run"),
+            memory_budget_bytes=64,
+        )
+        dense = EdgeSupportSink(keys, oriented.num_vertices)
+        with pytest.raises(ValueError):
+            spill.merge(dense)
+        with pytest.raises(ValueError):
+            dense.merge(spill)
+
+
+class TestSinkRegistry:
+    def test_registered_kinds(self):
+        from repro.core.triangles import CHUNK_SINK_KINDS, sink_kinds
+
+        assert set(CHUNK_SINK_KINDS) <= set(sink_kinds())
+        assert "file" in sink_kinds()
+
+    def test_normalize_underscore_spelling(self):
+        from repro.core.triangles import normalize_sink_kind
+
+        assert normalize_sink_kind("edge_support") == "edge-support"
+        assert normalize_sink_kind("per_vertex") == "per-vertex"
+        assert normalize_sink_kind("count") == "count"
+
+    def test_make_edge_support_from_graph(self):
+        from repro.core.orientation import orient_csr
+        from repro.core.triangles import EdgeSupportSink, make_sink
+        from repro.graph.csr import CSRGraph
+        from repro.graph.generators import complete_graph
+
+        oriented = orient_csr(CSRGraph.from_edgelist(complete_graph(5)))
+        sink = make_sink("edge_support", graph=oriented)
+        assert isinstance(sink, EdgeSupportSink)
+        assert sink.num_edges == oriented.num_edges
+
+    def test_edge_support_without_graph_raises(self):
+        with pytest.raises(ValueError):
+            make_sink("edge-support")
+
+    def test_per_vertex_accepts_graph_context(self):
+        from repro.core.orientation import orient_csr
+        from repro.graph.csr import CSRGraph
+        from repro.graph.generators import complete_graph
+
+        oriented = orient_csr(CSRGraph.from_edgelist(complete_graph(5)))
+        sink = make_sink("per-vertex", graph=oriented)
+        assert sink.per_vertex.shape[0] == 5
+
+    def test_custom_registration_dispatches(self):
+        from repro.core.triangles import (
+            _SINK_FACTORIES,
+            CountingSink,
+            make_sink,
+            register_sink,
+        )
+
+        @register_sink("test-custom")
+        def _factory(**_context):
+            return CountingSink()
+
+        try:
+            assert isinstance(make_sink("test_custom"), CountingSink)
+        finally:
+            del _SINK_FACTORIES["test-custom"]
+
+    def test_unknown_kind_raises_not_falls_through(self):
+        with pytest.raises(ValueError):
+            make_sink("definitely-not-registered")

@@ -315,3 +315,116 @@ class TestFdCache:
         # the name is gone and can be recreated independently
         g = dev.open("pinned.bin")
         assert g.num_items() == 0
+
+
+class TestMmapReads:
+    """The mmap read path sits strictly below the accounting layer."""
+
+    def _fill(self, dev: BlockDevice) -> None:
+        f = dev.open("data.bin")
+        f.append_array(np.arange(1000, dtype=np.int64))
+        g = dev.open("other.bin")
+        g.append_array(np.arange(64, dtype=np.int64))
+
+    def _access_pattern(self, dev: BlockDevice) -> list[bytes]:
+        f = dev.open("data.bin")
+        g = dev.open("other.bin")
+        out = [
+            f.read_bytes(0, 256),
+            f.read_bytes(4096, 512),          # random jump
+            f.read_bytes(7900, 400),          # short read at EOF
+            g.read_bytes(8, 128),
+            f.read_bytes(256, 8192),
+            f.read_bytes(0, 0),               # zero-length
+        ]
+        out.append(bytes(f.read_array(10, 20)))
+        return out
+
+    def test_bytes_and_iostats_identical_on_off(self, tmp_path):
+        results = {}
+        for flag in (False, True):
+            dev = BlockDevice(tmp_path / str(flag), block_size=512, mmap_reads=flag)
+            self._fill(dev)
+            dev.stats.reset()
+            results[flag] = (self._access_pattern(dev), dev.stats.as_dict())
+        assert results[False][0] == results[True][0]
+        assert results[False][1] == results[True][1]
+
+    def test_write_invalidates_mapping(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(100, dtype=np.int64))
+        assert np.array_equal(f.read_array(0, 100), np.arange(100))  # map cached
+        f.write_array(np.full(100, 7, dtype=np.int64))
+        assert np.array_equal(f.read_array(0, 100), np.full(100, 7))
+
+    def test_append_after_read_is_visible(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(10, dtype=np.int64))
+        assert f.read_array(0, 10)[-1] == 9
+        f.append_array(np.arange(10, 20, dtype=np.int64))
+        assert np.array_equal(f.read_array(0, 20), np.arange(20))
+
+    def test_truncate_invalidates_mapping(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(50, dtype=np.int64))
+        f.read_array(0, 50)
+        f.truncate(8 * 10)
+        assert f.num_items() == 10
+        assert np.array_equal(f.read_array(0, 10), np.arange(10))
+
+    def test_delete_and_recreate(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(10, dtype=np.int64))
+        f.read_array(0, 10)
+        dev.delete("data.bin")
+        f2 = dev.open("data.bin")
+        f2.append_array(np.full(10, 3, dtype=np.int64))
+        assert np.array_equal(f2.read_array(0, 10), np.full(10, 3))
+
+    def test_empty_file_reads(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("empty.bin")
+        assert f.read_bytes(0, 100) == b""
+
+    def test_copy_file_invalidates_destination(self, tmp_path):
+        src = BlockDevice(tmp_path / "src", block_size=512)
+        dst = BlockDevice(tmp_path / "dst", block_size=512, mmap_reads=True)
+        a = src.open("a.bin")
+        a.append_array(np.arange(20, dtype=np.int64))
+        src.copy_file("a.bin", dst)
+        d = dst.open("a.bin")
+        assert np.array_equal(d.read_array(0, 20), np.arange(20))
+        b = src.open("a.bin")
+        b.write_array(np.full(20, 9, dtype=np.int64))
+        src.copy_file("a.bin", dst)
+        assert np.array_equal(d.read_array(0, 20), np.full(20, 9))
+
+    def test_readahead_composes_with_mmap(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(2000, dtype=np.int64))
+        f.set_readahead(4096)
+        dev.stats.reset()
+        chunks = [f.read_array(i * 250, 250) for i in range(8)]
+        assert np.array_equal(np.concatenate(chunks), np.arange(2000))
+        plain = BlockDevice(tmp_path / "plain", block_size=512)
+        p = plain.open("data.bin")
+        p.append_array(np.arange(2000, dtype=np.int64))
+        plain.stats.reset()
+        for i in range(8):
+            p.read_array(i * 250, 250)
+        assert dev.stats.as_dict() == plain.stats.as_dict()
+
+    def test_close_drops_mappings(self, tmp_path):
+        dev = BlockDevice(tmp_path, block_size=512, mmap_reads=True)
+        f = dev.open("data.bin")
+        f.append_array(np.arange(10, dtype=np.int64))
+        f.read_array(0, 10)
+        assert dev._mmaps
+        dev.close()
+        assert not dev._mmaps
+        assert np.array_equal(f.read_array(0, 10), np.arange(10))

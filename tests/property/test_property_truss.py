@@ -1,0 +1,110 @@
+"""Property tests: vectorised k-truss vs the scalar reference.
+
+Trussness is a pure function of the graph (the k-truss is the *maximal*
+subgraph with the support property, so the peel order cannot matter);
+the batched vectorised peeler must therefore agree **exactly** with the
+deliberately naive scalar reference on every graph -- Erdős–Rényi,
+power-law, and the structured generators alike -- and the k-truss
+subgraphs themselves must satisfy the defining support invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analytics.truss import (
+    canonical_edges,
+    truss_decomposition,
+    trussness_reference,
+    undirected_edge_supports,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    planar_grid,
+    power_law_degree_graph,
+    ring_graph,
+    watts_strogatz,
+)
+
+
+class TestMatchesScalarReference:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_erdos_renyi(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 90))
+        p = float(rng.uniform(0.05, 0.35))
+        graph = CSRGraph.from_edgelist(erdos_renyi(n, p, seed=seed))
+        np.testing.assert_array_equal(
+            truss_decomposition(graph).trussness, trussness_reference(graph)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_power_law(self, seed):
+        graph = CSRGraph.from_edgelist(
+            power_law_degree_graph(
+                250, exponent=2.2, min_degree=2, max_degree=40, seed=seed
+            )
+        )
+        np.testing.assert_array_equal(
+            truss_decomposition(graph).trussness, trussness_reference(graph)
+        )
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            complete_graph(6),
+            ring_graph(9),
+            planar_grid(4, 5, diagonals=True),
+            watts_strogatz(30, 4, 0.2, seed=1),
+        ],
+        ids=["complete", "ring", "grid", "watts_strogatz"],
+    )
+    def test_structured_generators(self, edges):
+        graph = CSRGraph.from_edgelist(edges)
+        np.testing.assert_array_equal(
+            truss_decomposition(graph).trussness, trussness_reference(graph)
+        )
+
+
+class TestTrussInvariants:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_truss_subgraph_satisfies_support_property(self, seed):
+        """Every edge of the k-truss has >= k-2 triangles within the k-truss."""
+        graph = CSRGraph.from_edgelist(erdos_renyi(60, 0.2, seed=seed))
+        result = truss_decomposition(graph)
+        for k in range(2, result.max_k + 1):
+            sub = result.truss_subgraph(k)
+            if sub.num_undirected_edges == 0:
+                continue
+            internal = undirected_edge_supports(sub)
+            assert int(internal.min()) >= k - 2, k
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_trussness_is_maximal(self, seed):
+        """An edge peeled at k is NOT in any (k+1)-truss: the subgraph of
+        edges with trussness >= k+1 plus that edge would violate support --
+        checked via the reference agreeing, plus trussness bounds."""
+        graph = CSRGraph.from_edgelist(erdos_renyi(50, 0.25, seed=100 + seed))
+        result = truss_decomposition(graph)
+        # trussness is bounded by support + 2 and is >= 2 everywhere
+        assert np.all(result.trussness >= 2)
+        assert np.all(result.trussness <= result.support + 2)
+
+    def test_supports_match_pdtl_edge_supports(self):
+        """The standalone support kernel equals the PDTL edge-support run."""
+        from repro import edge_supports as run_edge_supports
+
+        graph = CSRGraph.from_edgelist(erdos_renyi(80, 0.15, seed=7))
+        result = run_edge_supports(graph)
+        oriented = result.oriented_edges
+        low = np.minimum(oriented[:, 0], oriented[:, 1])
+        high = np.maximum(oriented[:, 0], oriented[:, 1])
+        order = np.argsort(low * np.int64(graph.num_vertices) + high)
+        edges = np.stack([low[order], high[order]], axis=1)
+        np.testing.assert_array_equal(edges, canonical_edges(graph))
+        np.testing.assert_array_equal(
+            result.edge_supports[order], undirected_edge_supports(graph, edges)
+        )

@@ -44,6 +44,9 @@ EXTSORT_MIN_SPEEDUP = 10.0
 BASELINE_MIN_SPEEDUP = 5.0
 #: processes+shm over the plain processes backend (test_perf_backends)
 BACKEND_SHM_MIN_SPEEDUP = 1.5
+#: parallel preprocessing (pool orientation + pool run formation) over the
+#: serial master path (test_perf_preprocess)
+PREPROCESS_MIN_SPEEDUP = 1.5
 #: vectorised k-truss peeler over the scalar reference (test_perf_analytics)
 TRUSS_MIN_SPEEDUP = 5.0
 

@@ -55,6 +55,7 @@ __all__ = [
     "ExecutionBackend",
     "run_jobs",
     "run_task_queue",
+    "run_preprocess_queue",
     "process_pool",
     "shutdown_process_pool",
 ]
@@ -288,6 +289,25 @@ def _call_job(job: Callable[[], T]) -> T:
     """Module-level trampoline so ``run_jobs`` callables cross the pickle
     boundary the same way ``run_task_queue`` tasks do."""
     return job()
+
+
+def run_preprocess_queue(
+    tasks: Sequence[U],
+    fn: Callable[[U], T],
+    max_workers: int | None = None,
+) -> list[T]:
+    """Fan master-side preprocessing tasks out over the persistent pool.
+
+    This is the task queue the parallel preprocessing pipeline (orientation
+    chunks, external-sort run formation) submits to: the pull behaviour of
+    :func:`run_task_queue` pinned to the persistent ``processes`` backend,
+    so results come back in task order, at most ``max_workers`` (or the CPU
+    count) tasks are in flight, and the picklable-task contract is
+    genuinely exercised even for a single chunk.
+    """
+    return run_task_queue(
+        tasks, fn, backend=ExecutionBackend.PROCESSES, max_workers=max_workers
+    )
 
 
 def run_task_queue(

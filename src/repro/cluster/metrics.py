@@ -104,9 +104,20 @@ class NodeMetrics:
 
 @dataclass
 class ClusterMetrics:
-    """Cluster-wide roll-up of per-node metrics."""
+    """Cluster-wide roll-up of per-node metrics.
+
+    ``setup_seconds`` / ``setup_io_stats`` isolate the master's
+    *preprocessing* phase -- staging the input, orienting it and
+    replicating the oriented graph -- as modelled device time and block
+    counters on the master's disk.  They are charged identically whether
+    the preprocessing ran serially or fanned out over the process pool
+    (the accounting is below the execution strategy), which is exactly
+    what the preprocessing equivalence suite asserts.
+    """
 
     nodes: list[NodeMetrics] = field(default_factory=list)
+    setup_seconds: float = 0.0
+    setup_io_stats: IOStats = field(default_factory=IOStats)
 
     def node(self, index: int) -> NodeMetrics:
         """Return (creating if necessary) the metrics of node ``index``."""

@@ -43,6 +43,7 @@ __all__ = [
     "DEFAULT_BATCH_ENTRIES",
     "packed_keys",
     "csr_packed_keys",
+    "window_sources",
     "sorted_membership",
     "segment_gather",
     "merge_positions",
@@ -88,6 +89,20 @@ def csr_packed_keys(indptr: np.ndarray, indices: np.ndarray) -> np.ndarray:
         np.arange(num_vertices, dtype=np.int64), np.diff(indptr).astype(np.int64)
     )
     return packed_keys(sources, indices, num_vertices)
+
+
+def window_sources(offsets: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Per-entry source vertex of the adjacency slice covering ``[lo, hi)``.
+
+    ``offsets`` are the exclusive prefix sums of the degree array (CSR
+    ``indptr``); the result aligns with
+    ``adjacency[offsets[lo] : offsets[hi]]``.  This is the repeat/cumsum
+    idiom of :func:`csr_packed_keys` exposed for arbitrary vertex windows --
+    the orientation scan and the shared-memory publisher both derive their
+    per-entry sources from it.
+    """
+    degrees = (offsets[lo + 1 : hi + 1] - offsets[lo:hi]).astype(np.int64)
+    return np.repeat(np.arange(lo, hi, dtype=np.int64), degrees)
 
 
 def sorted_membership(haystack: np.ndarray, queries: np.ndarray) -> np.ndarray:

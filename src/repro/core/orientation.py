@@ -9,17 +9,31 @@ and the orientation ``G*`` keeps exactly the edges ``(u, v)`` with
 separately in the paper (Table II, Figure 2, Table IX) and happens exactly
 once per graph regardless of how many machines participate.
 
-Two code paths are provided:
+Three code paths are provided:
 
 * :func:`orient_csr` -- fully vectorised in-memory orientation, used by the
   in-memory baselines and by tests as the reference implementation;
-* :func:`orient_graph` -- the external-memory path: the degree array is
-  read into memory (the paper assumes ``|V| < P·M``), the adjacency file is
-  streamed in contiguous chunks, each chunk filtered down to its oriented
-  out-edges, and the result written back out.  With
-  ``parallel=True`` the chunks are processed by a thread pool and the
-  per-chunk outputs concatenated in order -- the "multicore orientation"
-  of section IV-B1 whose speed-up Figure 2 reports.
+* :func:`orient_graph` with ``executor="threads"`` (the default) -- the
+  external-memory path: the degree array is read into memory (the paper
+  assumes ``|V| < P·M``), the adjacency file is split into contiguous
+  vertex chunks that are filtered independently (a thread pool when
+  ``parallel=True``, sequentially otherwise) and concatenated in order --
+  the "multicore orientation" of section IV-B1 whose speed-up Figure 2
+  reports;
+* :func:`orient_graph` with ``executor="processes"`` and a shared-memory
+  descriptor (:func:`repro.core.shm.publish_input_graph`) -- the chunks
+  run as picklable :class:`OrientChunkTask` s on the **persistent process
+  pool** (:func:`repro.cluster.executor.run_preprocess_queue`), each
+  worker slicing its adjacency window zero-copy from the published input
+  graph and filtering it against the published degree-order keys.
+
+Every path charges the identical I/O accounting: the master charges one
+degree-file scan plus one adjacency read per chunk **in chunk order**
+(:meth:`repro.externalmem.blockio.BlockDevice.charge_read`), while the
+chunk compute reads the bytes below the accounting (raw ``np.fromfile``
+or a shared-memory view).  IOStats, modelled device seconds and the
+output file bytes are therefore bit-identical no matter which executor
+ran the chunks -- the equivalence suite asserts this, it is not assumed.
 
 Because both the input and output adjacency files are sorted by source and
 then destination, and orientation only *removes* entries, the output
@@ -33,16 +47,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.externalmem.blockio import BlockDevice
+from repro.core import kernels
+from repro.core.shm import SharedGraphDescriptor, attach_view
+from repro.externalmem.blockio import BlockDevice, DiskModel
 from repro.graph.binfmt import GraphFile, write_graph
 from repro.graph.csr import CSRGraph
 from repro.utils import Timer, chunk_ranges, prefix_sums
 
 __all__ = [
     "OrientationResult",
+    "OrientChunkTask",
     "degree_order_keys",
     "precedes",
     "orient_csr",
+    "orient_chunk_shared",
     "orient_graph",
 ]
 
@@ -54,6 +72,10 @@ class OrientationResult:
     ``in_degrees`` holds ``d_G(v) - d_G*(v)`` for every vertex -- the number
     of *incoming* oriented edges -- which is exactly the per-vertex weight
     the load-balancing step uses to split edge ranges (section IV-B1).
+    ``modelled_io_seconds`` is the modelled device time charged during the
+    orientation (input scans plus output writes) -- identical across
+    executors by construction; ``executor`` records which path ran the
+    chunks (``"serial"`` / ``"threads"`` / ``"processes"``).
     """
 
     oriented: GraphFile
@@ -62,6 +84,8 @@ class OrientationResult:
     in_degrees: np.ndarray
     elapsed_seconds: float
     num_chunks: int
+    modelled_io_seconds: float = 0.0
+    executor: str = "serial"
 
     @property
     def num_vertices(self) -> int:
@@ -114,36 +138,103 @@ def orient_csr(graph: CSRGraph) -> CSRGraph:
     return CSRGraph(new_indptr, new_indices, directed=True)
 
 
+def _orient_window(
+    keys: np.ndarray,
+    sources: np.ndarray,
+    adjacency: np.ndarray,
+    lo: int,
+    hi: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The per-window orientation kernel every execution path shares.
+
+    ``sources``/``adjacency`` are the aligned (source, destination) entries
+    of the vertex window ``[lo, hi)``; returns (per-vertex oriented
+    out-degrees, filtered adjacency).  One vectorised key comparison and
+    one ``bincount`` -- no per-edge Python.
+    """
+    if adjacency.shape[0] == 0:
+        return np.zeros(hi - lo, dtype=np.int64), np.empty(0, dtype=np.int64)
+    keep = keys[sources] < keys[adjacency]
+    out_degrees = np.bincount(sources[keep] - lo, minlength=hi - lo).astype(np.int64)
+    return out_degrees, adjacency[keep]
+
+
 def _orient_chunk(
-    source_graph: GraphFile,
     keys: np.ndarray,
     offsets: np.ndarray,
-    vertex_range: tuple[int, int],
+    lo: int,
+    hi: int,
+    read_range,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Orient the adjacency lists of a contiguous vertex range.
+    """Orient the vertex chunk ``[lo, hi)``; ``read_range(start, count)``
+    supplies the adjacency window.
 
-    Returns (per-vertex oriented out-degrees, concatenated oriented
-    adjacency) for the vertices in ``vertex_range``.  Each worker of the
-    multicore orientation runs this on its own range.
+    Every execution path funnels through this one body, so the slicing,
+    empty-range shape and filter stay in lockstep -- the precondition of
+    the cross-executor bit-identity contract.
     """
-    lo, hi = vertex_range
     if hi <= lo:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
     start_edge = int(offsets[lo])
     count = int(offsets[hi] - offsets[lo])
-    adjacency = (
-        source_graph.read_adjacency_range(start_edge, count)
-        if count
-        else np.empty(0, dtype=np.int64)
+    adjacency = read_range(start_edge, count) if count else np.empty(0, dtype=np.int64)
+    sources = kernels.window_sources(offsets, lo, hi)
+    return _orient_window(keys, sources, adjacency, lo, hi)
+
+
+def _orient_chunk_raw(
+    adjacency_path: str,
+    keys: np.ndarray,
+    offsets: np.ndarray,
+    vertex_range: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Orient one vertex chunk, reading its adjacency raw from the host file.
+
+    The read is below the accounting layer on purpose: the master charges
+    the modelled chunk read itself, in chunk order, so the accounting is
+    identical whether this runs inline, on a thread or not at all (the
+    shared-memory path).
+    """
+    lo, hi = vertex_range
+
+    def read_range(start_edge: int, count: int) -> np.ndarray:
+        return np.fromfile(
+            adjacency_path, dtype=np.int64, count=count, offset=start_edge * 8
+        )
+
+    return _orient_chunk(keys, offsets, lo, hi, read_range)
+
+
+@dataclass(frozen=True)
+class OrientChunkTask:
+    """One vertex chunk of the parallel orientation, picklable for the pool.
+
+    Carries only the shared-memory descriptor of the published *input*
+    graph (:func:`repro.core.shm.publish_input_graph`) plus the chunk's
+    vertex range -- never arrays.  The worker attaches the publication
+    (once per process, cached) and filters its window zero-copy.
+    """
+
+    descriptor: "SharedGraphDescriptor"
+    lo: int
+    hi: int
+
+
+def orient_chunk_shared(task: OrientChunkTask) -> tuple[np.ndarray, np.ndarray]:
+    """Execute one :class:`OrientChunkTask` against the shared input graph.
+
+    Module-level so it crosses the process-pool pickle boundary.  All data
+    arrives through the shared segments (adjacency window, offsets and the
+    published degree-order keys); nothing here touches an I/O counter.
+    """
+    view = attach_view(task.descriptor, DiskModel())
+    return _orient_chunk(
+        view.order_keys,
+        view.cached_offsets,
+        task.lo,
+        task.hi,
+        view.read_adjacency_range,
     )
-    degrees = (offsets[lo + 1 : hi + 1] - offsets[lo:hi]).astype(np.int64)
-    sources = np.repeat(np.arange(lo, hi, dtype=np.int64), degrees)
-    keep = keys[sources] < keys[adjacency] if count else np.empty(0, dtype=bool)
-    out_degrees = np.zeros(hi - lo, dtype=np.int64)
-    if count and keep.any():
-        np.add.at(out_degrees, sources[keep] - lo, 1)
-    oriented_adjacency = adjacency[keep] if count else adjacency
-    return out_degrees, oriented_adjacency
 
 
 def orient_graph(
@@ -152,6 +243,8 @@ def orient_graph(
     output_name: str | None = None,
     num_workers: int = 1,
     parallel: bool = True,
+    executor: str = "threads",
+    shared: SharedGraphDescriptor | None = None,
 ) -> OrientationResult:
     """Orient an on-disk undirected graph into an on-disk oriented graph.
 
@@ -171,28 +264,89 @@ def orient_graph(
         when False the chunks are processed sequentially even if
         ``num_workers > 1`` (used to measure the multicore speed-up of
         Figure 2 against an identical work decomposition).
+    executor:
+        ``"threads"`` (default) runs the chunks on a thread pool;
+        ``"processes"`` fans them out over the persistent process pool as
+        :class:`OrientChunkTask` s and requires ``shared``.
+    shared:
+        the :class:`~repro.core.shm.SharedGraphDescriptor` of the
+        published input graph (:func:`~repro.core.shm.publish_input_graph`);
+        required for (and only used by) ``executor="processes"``.
+
+    The I/O accounting is identical for every executor: one degree-file
+    read plus one charged adjacency read per chunk in chunk order, then
+    the output writes.
     """
     if source.directed:
         raise ValueError("orient_graph expects an undirected on-disk graph")
     if num_workers <= 0:
         raise ValueError("num_workers must be positive")
+    if executor not in ("threads", "processes"):
+        raise ValueError(f"executor must be 'threads' or 'processes', got {executor!r}")
+    if executor == "processes" and shared is None:
+        raise ValueError("executor='processes' requires a shared input-graph descriptor")
+    if executor == "processes" and not parallel:
+        raise ValueError(
+            "parallel=False conflicts with executor='processes'; use the "
+            "default threads executor to measure the sequential baseline"
+        )
+    if shared is not None and executor == "processes":
+        if (
+            shared.num_vertices != source.num_vertices
+            or shared.num_edges != source.num_edges
+        ):
+            raise ValueError(
+                f"shared descriptor {shared.token!r} does not match the source "
+                f"graph ({shared.num_vertices} vertices / {shared.num_edges} "
+                f"entries published vs {source.num_vertices} / "
+                f"{source.num_edges} on disk)"
+            )
     device = device if device is not None else source.device
     output_name = output_name if output_name is not None else f"{source.name}_oriented"
+
+    modelled_before = source.device.stats.device_seconds
+    if device is not source.device:
+        modelled_before += device.stats.device_seconds
 
     timer = Timer().start()
     degrees = source.read_degrees()
     offsets = prefix_sums(degrees)
-    keys = degree_order_keys(degrees)
+    # the pool workers filter against the *published* order keys, so the
+    # master only derives its own copy for the in-process executors
+    keys = degree_order_keys(degrees) if executor != "processes" else None
     ranges = chunk_ranges(source.num_vertices, num_workers)
 
-    if parallel and num_workers > 1:
+    # charge every chunk's adjacency read now, in chunk order: the compute
+    # below reads raw (or from shared memory), so this is the single place
+    # the modelled input scan is accounted -- deterministically, no matter
+    # which executor runs the chunks or in which order they finish
+    adjacency_name = source.adjacency_file_name
+    for lo, hi in ranges:
+        count = int(offsets[hi] - offsets[lo])
+        if count:
+            source.device.charge_read(adjacency_name, int(offsets[lo]) * 8, count * 8)
+
+    run_parallel = parallel and num_workers > 1
+    adjacency_path = str(source.device.path(adjacency_name))
+    if executor == "processes":
+        from repro.cluster.executor import run_preprocess_queue
+
+        tasks = [OrientChunkTask(descriptor=shared, lo=lo, hi=hi) for lo, hi in ranges]
+        results = run_preprocess_queue(
+            tasks, orient_chunk_shared, max_workers=num_workers
+        )
+        used_executor = "processes"
+    elif run_parallel:
         with concurrent.futures.ThreadPoolExecutor(max_workers=num_workers) as pool:
             futures = [
-                pool.submit(_orient_chunk, source, keys, offsets, r) for r in ranges
+                pool.submit(_orient_chunk_raw, adjacency_path, keys, offsets, r)
+                for r in ranges
             ]
             results = [f.result() for f in futures]
+        used_executor = "threads"
     else:
-        results = [_orient_chunk(source, keys, offsets, r) for r in ranges]
+        results = [_orient_chunk_raw(adjacency_path, keys, offsets, r) for r in ranges]
+        used_executor = "serial"
 
     out_degree_parts = [r[0] for r in results]
     adjacency_parts = [r[1] for r in results]
@@ -210,6 +364,10 @@ def orient_graph(
     oriented_file = write_graph(device, output_name, oriented_csr)
     timer.stop()
 
+    modelled_after = source.device.stats.device_seconds
+    if device is not source.device:
+        modelled_after += device.stats.device_seconds
+
     in_degrees = degrees - out_degrees
     return OrientationResult(
         oriented=oriented_file,
@@ -218,4 +376,6 @@ def orient_graph(
         in_degrees=in_degrees,
         elapsed_seconds=timer.elapsed,
         num_chunks=num_workers,
+        modelled_io_seconds=modelled_after - modelled_before,
+        executor=used_executor,
     )

@@ -35,7 +35,12 @@ from repro.core.config import PDTLConfig
 from repro.core.load_balance import EdgeRange, split_edges
 from repro.core.mgt import MGTResult
 from repro.core.orientation import OrientationResult, orient_graph
-from repro.core.shm import SharedGraphDescriptor, publish_graph, shm_available
+from repro.core.shm import (
+    SharedGraphDescriptor,
+    publish_graph,
+    publish_input_graph,
+    shm_available,
+)
 from repro.core.scheduler import (
     Chunk,
     ChunkOutcome,
@@ -128,10 +133,18 @@ class PDTLResult:
     max_out_degree: int = 0
     num_chunks: int = 0
     shm_used: bool = False
+    preprocess_parallel: bool = False
 
     @property
     def average_copy_seconds(self) -> float:
         return self.metrics.average_copy_seconds(exclude_master=True)
+
+    @property
+    def modelled_setup_seconds(self) -> float:
+        """Modelled master-device time of the preprocessing phase (staging,
+        orientation, replication reads) -- identical whether preprocessing
+        ran serially or on the process pool."""
+        return self.metrics.setup_seconds
 
     @property
     def total_cpu_seconds(self) -> float:
@@ -237,12 +250,46 @@ class PDTLRunner:
         return write_graph(cluster.master.device, "input", graph)
 
     def _orient(self, source: GraphFile) -> OrientationResult:
+        # the chunk count depends only on parallel_orientation, never on the
+        # executor: every path charges the same per-chunk reads, so IOStats
+        # and modelled setup time are bit-identical whether the chunks run
+        # inline, on threads, on the pool, or on the shm-unavailable fallback
         workers = self.config.procs_per_node if self.config.parallel_orientation else 1
+        if self.config.parallel_preprocess:
+            publication = self._publish_input(source)
+            if publication is not None:
+                # the finally covers a preprocessing worker raising mid-run:
+                # the input-graph segments never outlive the orientation
+                try:
+                    return orient_graph(
+                        source,
+                        num_workers=workers,
+                        executor="processes",
+                        shared=publication.descriptor,
+                    )
+                finally:
+                    publication.unlink()
         return orient_graph(
             source,
             num_workers=workers,
             parallel=self.config.parallel_orientation,
         )
+
+    def _publish_input(self, source: GraphFile):
+        """Publish the unoriented input graph for the parallel preprocessing
+        fan-out, or ``None`` (with a warning) where shared memory is
+        unavailable -- the run then degrades to the threaded orientation
+        with bit-identical results."""
+        available, reason = shm_available()
+        if not available:
+            warnings.warn(
+                f"parallel_preprocess=True requested but {reason}; falling "
+                f"back to threaded orientation",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return publish_input_graph(source)
 
     def _result_payload(
         self, sink_kind: str, triangles: int, num_edges: int = 0
@@ -314,7 +361,13 @@ class PDTLRunner:
         config = self.config
         dynamic = config.scheduling == "dynamic"
 
-        # Step 1: stage + orient on the master
+        # Step 1: stage + orient on the master.  The master-device counters
+        # are snapshotted here and again after replication, so the run's
+        # metrics carry the modelled *setup* phase (staging + orientation +
+        # replication reads) in isolation -- the quantity the preprocessing
+        # equivalence suite asserts bit-identical across execution paths.
+        master_stats = cluster.master.device.stats
+        setup_baseline = master_stats.snapshot()
         source = self._stage_input(cluster, graph)
         orientation = self._orient(source)
         oriented = orientation.oriented
@@ -341,6 +394,10 @@ class PDTLRunner:
         local_graphs = cluster.replicate_graph(oriented)
         for worker in range(config.total_processors):
             cluster.send_configuration(worker // config.procs_per_node)
+
+        # preprocessing complete: record the master's modelled setup phase
+        cluster.metrics.setup_io_stats = master_stats.delta(setup_baseline)
+        cluster.metrics.setup_seconds = cluster.metrics.setup_io_stats.device_seconds
 
         # Step 4: MGT execution on the host backend (placement-independent).
         # With shm enabled the oriented adjacency is published once into
@@ -425,6 +482,7 @@ class PDTLRunner:
             max_out_degree=orientation.max_out_degree,
             num_chunks=len(units),
             shm_used=publication is not None,
+            preprocess_parallel=orientation.executor == "processes",
         )
 
     def _aggregate_static(

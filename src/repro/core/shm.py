@@ -71,6 +71,7 @@ __all__ = [
     "attach_view",
     "detach_view",
     "publish_graph",
+    "publish_input_graph",
     "shm_available",
 ]
 
@@ -182,32 +183,43 @@ class SharedArraySpec:
 
 @dataclass(frozen=True)
 class SharedGraphDescriptor:
-    """The small, picklable handle to one published oriented graph.
+    """The small, picklable handle to one published graph.
 
     Carries the array specs plus the graph metadata a worker needs to run
     MGT without ever opening the on-disk files.  ``token`` identifies the
     publication; worker-side attachments are cached by it.
 
-    Besides the raw graph arrays (degrees, adjacency, offsets) the
-    publication also carries the two *scan invariants* of the MGT
-    full-graph pass -- the per-entry source vertex of every adjacency
-    position and the globally sorted packed ``(source, destination)`` keys
-    (:func:`repro.core.kernels.packed_keys`).  They are pure functions of
-    the graph, identical for every window and every worker, so computing
-    them once at publish time lets each worker run its window scan as one
-    fused vectorised pass instead of re-deriving them per scanned block.
+    Besides the raw graph arrays (degrees, adjacency, offsets) a
+    publication can carry *derived* arrays, each a pure function of the
+    graph that every worker would otherwise recompute:
+
+    * for an **oriented** graph (:func:`publish_graph`), the two scan
+      invariants of the MGT full-graph pass -- the per-entry source vertex
+      of every adjacency position and the globally sorted packed
+      ``(source, destination)`` keys
+      (:func:`repro.core.kernels.packed_keys`) -- so each worker runs its
+      window scan as one fused vectorised pass;
+    * for the **input** (unoriented) graph (:func:`publish_input_graph`),
+      the degree-order keys of
+      :func:`repro.core.orientation.degree_order_keys`, so each parallel
+      orientation worker filters its vertex window with one vectorised
+      comparison instead of re-deriving the order per chunk.
+
+    Absent derived arrays are ``None`` in the descriptor and their
+    segments are never created.
     """
 
     token: str
     degrees: SharedArraySpec
     adjacency: SharedArraySpec
     offsets: SharedArraySpec
-    scan_sources: SharedArraySpec
-    scan_keys: SharedArraySpec
     num_vertices: int
     num_edges: int
     directed: bool
     max_degree: int
+    scan_sources: SharedArraySpec | None = None
+    scan_keys: SharedArraySpec | None = None
+    order_keys: SharedArraySpec | None = None
 
 
 class SharedGraphPublication:
@@ -266,14 +278,24 @@ def _read_file_raw(graph: GraphFile, file_name: str, num_items: int) -> np.ndarr
     return np.fromfile(path, dtype=np.int64, count=num_items)
 
 
-def publish_graph(graph: GraphFile) -> SharedGraphPublication:
-    """Publish an on-disk oriented graph into named shared-memory segments.
+def publish_graph(
+    graph: GraphFile,
+    scan_invariants: bool = True,
+    order_keys: bool = False,
+) -> SharedGraphPublication:
+    """Publish an on-disk graph into named shared-memory segments.
 
     One copy per host: the degree array, the adjacency array and the
     derived vertex-offset array each get a segment named after a fresh
     publication token.  The files are read raw (``np.fromfile`` on the
     device paths), so no I/O counter anywhere moves -- publication is a
     host-side optimisation, invisible to the simulation.
+
+    ``scan_invariants`` additionally publishes the MGT full-graph scan
+    invariants (per-entry sources + sorted packed keys; the default, for
+    oriented graphs); ``order_keys`` publishes the degree-order keys the
+    parallel orientation workers filter with (see
+    :func:`publish_input_graph`).
     """
     available, reason = shm_available()
     if not available:
@@ -284,20 +306,24 @@ def publish_graph(graph: GraphFile) -> SharedGraphPublication:
     degrees = _read_file_raw(graph, graph.degree_file_name, graph.num_vertices)
     adjacency = _read_file_raw(graph, graph.adjacency_file_name, graph.num_edges)
     offsets = prefix_sums(degrees)
-    # the scan invariants (see SharedGraphDescriptor): per-entry sources and
-    # the globally sorted packed (source, destination) keys of the adjacency
-    scan_sources = np.repeat(
-        np.arange(graph.num_vertices, dtype=np.int64), degrees
-    )
-    scan_keys = kernels.packed_keys(scan_sources, adjacency, graph.num_vertices)
 
     arrays = {
         "deg": degrees,
         "adj": adjacency,
         "off": offsets,
-        "src": scan_sources,
-        "key": scan_keys,
     }
+    if scan_invariants:
+        # the scan invariants (see SharedGraphDescriptor): per-entry sources
+        # and the sorted packed (source, destination) keys of the adjacency
+        scan_sources = kernels.window_sources(offsets, 0, graph.num_vertices)
+        arrays["src"] = scan_sources
+        arrays["key"] = kernels.packed_keys(
+            scan_sources, adjacency, graph.num_vertices
+        )
+    if order_keys:
+        from repro.core.orientation import degree_order_keys
+
+        arrays["ord"] = degree_order_keys(degrees)
     segments = []
     specs: dict[str, SharedArraySpec] = {}
     try:
@@ -328,14 +354,29 @@ def publish_graph(graph: GraphFile) -> SharedGraphPublication:
         degrees=specs["deg"],
         adjacency=specs["adj"],
         offsets=specs["off"],
-        scan_sources=specs["src"],
-        scan_keys=specs["key"],
+        scan_sources=specs.get("src"),
+        scan_keys=specs.get("key"),
+        order_keys=specs.get("ord"),
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
         directed=graph.directed,
         max_degree=graph.max_degree,
     )
     return SharedGraphPublication(descriptor, segments)
+
+
+def publish_input_graph(graph: GraphFile) -> SharedGraphPublication:
+    """Publish the *input* (unoriented) graph for parallel preprocessing.
+
+    The publication carries the raw graph arrays plus the degree-order
+    keys (computed once, instead of once per orientation worker) and skips
+    the MGT scan invariants, which only the oriented graph needs.  The
+    master unlinks it as soon as orientation completes -- the segments
+    never outlive the preprocessing phase, even when a worker raises
+    mid-run (:class:`~repro.core.pdtl.PDTLRunner` unlinks in a
+    ``finally``).
+    """
+    return publish_graph(graph, scan_invariants=False, order_keys=True)
 
 
 class _SharedDevice:
@@ -365,19 +406,22 @@ class SharedGraphView:
     def __init__(self, descriptor: SharedGraphDescriptor, model: DiskModel) -> None:
         self.descriptor = descriptor
         self.device = _SharedDevice(model)
-        self._segments = [
-            _attach_segment(descriptor.degrees.name),
-            _attach_segment(descriptor.adjacency.name),
-            _attach_segment(descriptor.offsets.name),
-            _attach_segment(descriptor.scan_sources.name),
-            _attach_segment(descriptor.scan_keys.name),
-        ]
-        self._degrees = self._as_view(self._segments[0], descriptor.degrees)
-        self._adjacency = self._as_view(self._segments[1], descriptor.adjacency)
-        self._offsets = self._as_view(self._segments[2], descriptor.offsets)
-        self._scan_sources = self._as_view(self._segments[3], descriptor.scan_sources)
-        self._scan_keys = self._as_view(self._segments[4], descriptor.scan_keys)
+        self._segments: list = []
+        self._degrees = self._attach(descriptor.degrees)
+        self._adjacency = self._attach(descriptor.adjacency)
+        self._offsets = self._attach(descriptor.offsets)
+        self._scan_sources = self._attach(descriptor.scan_sources)
+        self._scan_keys = self._attach(descriptor.scan_keys)
+        self._order_keys = self._attach(descriptor.order_keys)
         self._closed = False
+
+    def _attach(self, spec: SharedArraySpec | None) -> np.ndarray | None:
+        """Attach one published array (absent derived arrays stay ``None``)."""
+        if spec is None:
+            return None
+        shm = _attach_segment(spec.name)
+        self._segments.append(shm)
+        return self._as_view(shm, spec)
 
     @staticmethod
     def _as_view(shm, spec: SharedArraySpec) -> np.ndarray:
@@ -413,15 +457,33 @@ class SharedGraphView:
         """The published exclusive prefix sums of the degree array."""
         return self._offsets
 
+    def _require(self, array: np.ndarray | None, label: str) -> np.ndarray:
+        if self._closed:
+            raise PDTLError(
+                f"shared graph view of {self.descriptor.token!r} is closed"
+            )
+        if array is None:
+            raise PDTLError(
+                f"publication {self.descriptor.token!r} does not carry "
+                f"{label}; it was published without them"
+            )
+        return array
+
     @property
     def scan_sources(self) -> np.ndarray:
         """Per-entry source vertex of every adjacency position (length E)."""
-        return self._scan_sources
+        return self._require(self._scan_sources, "the MGT scan invariants")
 
     @property
     def scan_keys(self) -> np.ndarray:
         """Globally sorted packed ``(source, destination)`` keys (length E)."""
-        return self._scan_keys
+        return self._require(self._scan_keys, "the MGT scan invariants")
+
+    @property
+    def order_keys(self) -> np.ndarray:
+        """Degree-order keys of the input graph (length n); see
+        :func:`repro.core.orientation.degree_order_keys`."""
+        return self._require(self._order_keys, "the degree-order keys")
 
     def offsets(self) -> np.ndarray:
         return self._offsets
@@ -450,7 +512,7 @@ class SharedGraphView:
             return
         self._closed = True
         self._degrees = self._adjacency = self._offsets = None  # type: ignore[assignment]
-        self._scan_sources = self._scan_keys = None  # type: ignore[assignment]
+        self._scan_sources = self._scan_keys = self._order_keys = None  # type: ignore[assignment]
         for shm in self._segments:
             try:
                 shm.close()

@@ -356,6 +356,25 @@ class BlockDevice:
 
     # -- accounting primitives ---------------------------------------------------
 
+    def charge_read(self, name: str, offset: int, nbytes: int) -> None:
+        """Charge the accounting for a read served out-of-band.
+
+        The parallel preprocessing master uses this to keep the modelled
+        I/O of a fanned-out scan bit-identical to the serial scan it
+        replaces: workers read the bytes below the accounting (raw
+        ``np.fromfile`` or a shared-memory view), and the master charges
+        each window here, in the serial scan's order.  Block rounding,
+        sequential/random classification and modelled device time are
+        exactly what a real :meth:`BlockFile.read_bytes` of the same
+        ``(offset, nbytes)`` would have recorded.
+        """
+        self._account(name, offset, nbytes, write=False)
+
+    def charge_write(self, name: str, offset: int, nbytes: int) -> None:
+        """Charge the accounting for a write performed out-of-band
+        (the write twin of :meth:`charge_read`)."""
+        self._account(name, offset, nbytes, write=True)
+
     def _account(self, name: str, offset: int, nbytes: int, write: bool) -> None:
         if nbytes <= 0:
             return

@@ -13,7 +13,7 @@ Two distinct things live here on purpose:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 __all__ = ["IOStats", "scan_io_cost", "sort_io_cost"]
 
@@ -74,17 +74,8 @@ class IOStats:
 
     def merge(self, other: "IOStats") -> None:
         """Accumulate another counter set into this one (block size kept)."""
-        self.blocks_read += other.blocks_read
-        self.blocks_written += other.blocks_written
-        self.sequential_reads += other.sequential_reads
-        self.random_reads += other.random_reads
-        self.sequential_writes += other.sequential_writes
-        self.random_writes += other.random_writes
-        self.bytes_read += other.bytes_read
-        self.bytes_written += other.bytes_written
-        self.read_calls += other.read_calls
-        self.write_calls += other.write_calls
-        self.device_seconds += other.device_seconds
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def reset(self) -> None:
         block_size = self.block_size
@@ -96,7 +87,22 @@ class IOStats:
         copy.merge(self)
         return copy
 
+    def delta(self, baseline: "IOStats") -> "IOStats":
+        """Counters accumulated since ``baseline`` (an earlier snapshot).
+
+        Used to isolate one phase of a run -- e.g. the master's
+        preprocessing I/O -- so tests can assert that two execution
+        strategies charged exactly the same accounting for that phase.
+        """
+        diff = IOStats(block_size=self.block_size)
+        for name in _COUNTER_FIELDS:
+            setattr(diff, name, getattr(self, name) - getattr(baseline, name))
+        return diff
+
     def as_dict(self) -> dict[str, float]:
+        # kept explicit (stable key order documented by the tests); merge()
+        # and delta() iterate _COUNTER_FIELDS so a new counter cannot be
+        # silently dropped from either
         return {
             "block_size": self.block_size,
             "blocks_read": self.blocks_read,
@@ -111,6 +117,11 @@ class IOStats:
             "write_calls": self.write_calls,
             "device_seconds": self.device_seconds,
         }
+
+
+#: Every IOStats field except the block size is an additive counter;
+#: merge() and delta() iterate this so new counters join them automatically.
+_COUNTER_FIELDS = tuple(f.name for f in fields(IOStats) if f.name != "block_size")
 
 
 def scan_io_cost(num_elements: int, block_size_elements: int) -> int:

@@ -169,3 +169,144 @@ class TestFanInDerivation:
         assert result.merge_passes >= 1
         assert result.formation_seconds > 0.0
         assert result.merge_seconds > 0.0
+
+
+class TestMergeEdgeCases:
+    """Edge cases the vectorised-merge rewrite left thin, exercised for
+    both run-formation paths and both merge implementations."""
+
+    def _out_bytes(self, device, name="out.bin") -> bytes:
+        path = device.path(name)
+        return path.read_bytes() if path.exists() else b""
+
+    @pytest.mark.parametrize("formation", ["serial", "parallel"])
+    @pytest.mark.parametrize("merge_impl", ["vectorized", "heapq"])
+    def test_empty_input_file(self, device, formation, merge_impl):
+        write_edge_file(device, "in.bin", np.empty((0, 2), dtype=np.int64))
+        result = external_sort_edges(
+            device,
+            "in.bin",
+            "out.bin",
+            memory_bytes=4096,
+            formation=formation,
+            merge_impl=merge_impl,
+        )
+        assert result.num_edges == 0
+        assert result.num_runs == 0
+        assert result.merge_passes == 0
+        assert result.formation_impl == formation
+        assert read_edge_file(device, "out.bin").shape == (0, 2)
+
+    @pytest.mark.parametrize("formation", ["serial", "parallel"])
+    @pytest.mark.parametrize("merge_impl", ["vectorized", "heapq"])
+    def test_single_run_smaller_than_one_block(self, device, formation, merge_impl):
+        """A run below the device block size (512 B = 32 edges here) still
+        round-trips through run formation and the final copy exactly."""
+        edges = random_edges(20, 10, seed=3)
+        write_edge_file(device, "in.bin", edges)
+        result = external_sort_edges(
+            device,
+            "in.bin",
+            "out.bin",
+            memory_bytes=1 << 16,
+            formation=formation,
+            merge_impl=merge_impl,
+        )
+        assert result.num_runs == 1
+        assert result.merge_passes == 0
+        out = read_edge_file(device, "out.bin")
+        assert out.nbytes < device.block_size
+        expected = edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("formation", ["serial", "parallel"])
+    def test_fan_in_clamped_low_end_to_end(self, device, formation):
+        """Derived fan-in at the lower clamp (2): many binary merge passes,
+        both merge impls byte-identical."""
+        edges = random_edges(600, 40, seed=4)
+        write_edge_file(device, "in.bin", edges)
+        outputs = {}
+        for merge_impl in ("vectorized", "heapq"):
+            result = external_sort_edges(
+                device,
+                "in.bin",
+                f"out_{merge_impl}.bin",
+                memory_bytes=256,  # 16 edges/run, buffer 32 edges -> clamp at 2
+                formation=formation,
+                merge_impl=merge_impl,
+            )
+            assert result.fan_in == 2
+            assert result.merge_passes >= 5  # ceil(log2(38 runs))
+            outputs[merge_impl] = self._out_bytes(device, f"out_{merge_impl}.bin")
+        assert outputs["vectorized"] == outputs["heapq"] != b""
+        assert is_lexsorted(read_edge_file(device, "out_vectorized.bin"))
+
+    @pytest.mark.parametrize("formation", ["serial", "parallel"])
+    def test_fan_in_clamped_high_end_to_end(self, device, formation):
+        """Derived fan-in at the upper clamp (64): one wide merge pass."""
+        edges = random_edges(8000, 300, seed=5)
+        write_edge_file(device, "in.bin", edges)
+        result = external_sort_edges(
+            device,
+            "in.bin",
+            "out.bin",
+            memory_bytes=36864,  # 2304 edges -> 2304//32 - 1 = 71 -> clamp 64
+            formation=formation,
+        )
+        assert result.fan_in == 64
+        assert result.num_runs == 4
+        assert result.merge_passes == 1
+        assert is_lexsorted(read_edge_file(device, "out.bin"))
+
+    def test_merge_impls_byte_identical_on_worker_runs(self, device):
+        """heapq vs vectorized merges of the pool workers' runs: identical
+        output bytes and identical accounting."""
+        edges = random_edges(3000, 120, seed=6)
+        write_edge_file(device, "in.bin", edges)
+        stats = {}
+        for merge_impl in ("vectorized", "heapq"):
+            baseline = device.stats.snapshot()
+            external_sort_edges(
+                device,
+                "in.bin",
+                f"out_{merge_impl}.bin",
+                memory_bytes=2048,
+                formation="parallel",
+                merge_impl=merge_impl,
+            )
+            stats[merge_impl] = device.stats.delta(baseline)
+        assert (
+            self._out_bytes(device, "out_vectorized.bin")
+            == self._out_bytes(device, "out_heapq.bin")
+            != b""
+        )
+        v, h = stats["vectorized"].as_dict(), stats["heapq"].as_dict()
+        v.pop("device_seconds"), h.pop("device_seconds")  # float base differs
+        assert v == h
+
+    def test_negative_ids_fall_back_to_lexsort_in_workers(self, device):
+        """Unpackable windows (negative ids) take the stable-lexsort
+        fallback in the pool workers -- still byte-identical to serial."""
+        rng = np.random.default_rng(7)
+        edges = rng.integers(-50, 50, size=(900, 2), dtype=np.int64)
+        write_edge_file(device, "in.bin", edges)
+        for formation in ("serial", "parallel"):
+            external_sort_edges(
+                device,
+                "in.bin",
+                f"out_{formation}.bin",
+                memory_bytes=1024,
+                formation=formation,
+            )
+        assert (
+            self._out_bytes(device, "out_serial.bin")
+            == self._out_bytes(device, "out_parallel.bin")
+            != b""
+        )
+
+    def test_invalid_formation_rejected(self, device):
+        write_edge_file(device, "in.bin", random_edges(10, 5))
+        with pytest.raises(ConfigurationError):
+            external_sort_edges(
+                device, "in.bin", "out.bin", memory_bytes=4096, formation="bogus"
+            )

@@ -1,18 +1,51 @@
-"""Property-based tests for the degree-based order and orientation."""
+"""Property-based tests for the degree-based order and orientation.
+
+Besides the long-standing ``orient_csr`` invariants, this module drives
+the *parallel* orientation path -- the chunked shared-memory scan of
+:func:`repro.core.orientation.orient_chunk_shared` -- over randomized
+graph families (Erdős–Rényi, power-law, stars, paths, duplicate-heavy
+edge lists) and asserts its output exactly equals the vectorised
+in-memory reference, with every :func:`degree_order_keys` invariant
+holding on the result.
+"""
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core.orientation import degree_order_keys, orient_csr, precedes
+from repro.core import kernels
+from repro.core.orientation import (
+    OrientChunkTask,
+    degree_order_keys,
+    orient_chunk_shared,
+    orient_csr,
+    orient_graph,
+    precedes,
+)
+from repro.core.shm import detach_view, publish_input_graph, shm_available
+from repro.externalmem.blockio import BlockDevice
+from repro.graph.binfmt import write_graph
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
+from repro.graph.generators import power_law_degree_graph
+from repro.utils import chunk_ranges
 
 SETTINGS = dict(
     max_examples=40,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
+)
+
+PARALLEL_SETTINGS = dict(SETTINGS, max_examples=25)
+
+_SHM_OK, _SHM_REASON = shm_available()
+needs_shm = pytest.mark.skipif(
+    not _SHM_OK, reason=f"POSIX shared memory unavailable: {_SHM_REASON}"
 )
 
 
@@ -28,6 +61,74 @@ def random_graphs(draw, max_vertices: int = 30):
     iu, iv = np.triu_indices(n, k=1)
     chosen = rng.choice(iu.shape[0], size=min(m, iu.shape[0]), replace=False)
     return CSRGraph.from_edgelist(EdgeList(np.stack([iu[chosen], iv[chosen]], axis=1), n))
+
+
+@st.composite
+def family_graphs(draw):
+    """Randomized graphs across the structural families the parallel
+    orientation must handle: ER, power-law hubs, stars (one giant degree),
+    paths (all degrees tied) and duplicate-heavy raw edge lists."""
+    kind = draw(st.sampled_from(["er", "power_law", "star", "path", "duplicates"]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=2, max_value=40))
+    rng = np.random.default_rng(seed)
+    if kind == "er":
+        iu, iv = np.triu_indices(n, k=1)
+        keep = rng.random(iu.shape[0]) < 0.2
+        edges = np.stack([iu[keep], iv[keep]], axis=1)
+        return CSRGraph.from_edgelist(EdgeList(edges, n))
+    if kind == "power_law":
+        exponent = draw(st.floats(min_value=1.8, max_value=3.0))
+        return CSRGraph.from_edgelist(
+            power_law_degree_graph(
+                max(n, 10), exponent=exponent, min_degree=1, seed=seed
+            )
+        )
+    if kind == "star":
+        return CSRGraph.from_edgelist(
+            EdgeList(np.array([[0, i] for i in range(1, n)], dtype=np.int64), n)
+        )
+    if kind == "path":
+        return CSRGraph.from_edgelist(
+            EdgeList(np.array([[i, i + 1] for i in range(n - 1)], dtype=np.int64), n)
+        )
+    # duplicate-heavy: rows drawn with replacement, both directions mixed in;
+    # the simple bidirectional closure must still orient exactly
+    m = draw(st.integers(min_value=1, max_value=120))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    edges = np.stack([src, dst], axis=1)
+    edges = np.concatenate([edges, edges[rng.random(m) < 0.5][:, ::-1], edges[:3]])
+    return CSRGraph.from_edgelist(EdgeList(edges.astype(np.int64), n))
+
+
+def parallel_orientation_via_shared_chunks(
+    graph: CSRGraph, num_chunks: int
+) -> tuple[CSRGraph, np.ndarray]:
+    """Run the shared-memory orientation path chunk by chunk, in process.
+
+    Publishes the input graph exactly like the PDTL master does, executes
+    one :class:`OrientChunkTask` per vertex chunk through the same code the
+    pool workers run, and assembles the oriented CSR from the per-chunk
+    outputs.  Returns ``(oriented CSR, out-degree array)``.
+    """
+    with tempfile.TemporaryDirectory(prefix="pdtl_prop_orient_") as root:
+        device = BlockDevice(Path(root) / "disk", block_size=512)
+        gf = write_graph(device, "g", graph)
+        publication = publish_input_graph(gf)
+        try:
+            ranges = chunk_ranges(gf.num_vertices, num_chunks)
+            results = [
+                orient_chunk_shared(
+                    OrientChunkTask(descriptor=publication.descriptor, lo=lo, hi=hi)
+                )
+                for lo, hi in ranges
+            ]
+        finally:
+            publication.unlink()  # also drops this process's cached attachment
+    out_degrees = np.concatenate([r[0] for r in results])
+    adjacency = np.concatenate([r[1] for r in results])
+    return CSRGraph.from_arrays(out_degrees, adjacency, directed=True), out_degrees
 
 
 @given(degrees=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
@@ -96,3 +197,112 @@ def test_oriented_adjacency_stays_sorted_and_simple(graph):
     oriented = orient_csr(graph)
     oriented.check_sorted_adjacency()
     oriented.check_simple()
+
+
+# ---------------------------------------------------------------------------
+# the parallel (shared-memory, chunked) orientation path
+# ---------------------------------------------------------------------------
+
+
+@needs_shm
+@given(graph=family_graphs(), num_chunks=st.integers(min_value=1, max_value=6))
+@settings(**PARALLEL_SETTINGS)
+def test_parallel_orientation_equals_orient_csr(graph, num_chunks):
+    """The chunked shared-memory scan is exactly the in-memory reference,
+    for any chunking, on every graph family."""
+    expected = orient_csr(graph)
+    oriented, out_degrees = parallel_orientation_via_shared_chunks(graph, num_chunks)
+    np.testing.assert_array_equal(oriented.indptr, expected.indptr)
+    np.testing.assert_array_equal(oriented.indices, expected.indices)
+    np.testing.assert_array_equal(out_degrees, expected.degrees)
+
+
+@needs_shm
+@given(graph=family_graphs())
+@settings(**PARALLEL_SETTINGS)
+def test_parallel_orientation_respects_degree_order(graph):
+    """Every oriented edge the parallel path emits satisfies ``u ≺ v``."""
+    oriented, _ = parallel_orientation_via_shared_chunks(graph, num_chunks=3)
+    degrees = graph.degrees
+    keys = degree_order_keys(degrees)
+    sources = oriented.edge_sources()
+    assert bool(np.all(keys[sources] < keys[oriented.indices]))
+    for u, v in oriented.iter_edges():
+        assert precedes(u, v, degrees)
+
+
+@needs_shm
+@given(graph=family_graphs())
+@settings(**PARALLEL_SETTINGS)
+def test_parallel_orientation_packed_keys_globally_sorted(graph):
+    """The packed (source, destination) keys of the parallel output are
+    strictly increasing -- the sortedness invariant every downstream MGT
+    scan and shared-memory publication relies on."""
+    oriented, _ = parallel_orientation_via_shared_chunks(graph, num_chunks=4)
+    packed = kernels.csr_packed_keys(oriented.indptr, oriented.indices)
+    if packed.shape[0] > 1:
+        assert bool(np.all(np.diff(packed) > 0))
+
+
+@given(graph=family_graphs())
+@settings(**PARALLEL_SETTINGS)
+def test_degree_order_keys_invariants_on_families(graph):
+    """``degree_order_keys`` is a strict total order consistent with
+    ``precedes`` on every family's degree sequence."""
+    degrees = graph.degrees
+    keys = degree_order_keys(degrees)
+    assert len(set(keys.tolist())) == keys.shape[0]  # strict: no ties
+    n = degrees.shape[0]
+    rng = np.random.default_rng(int(degrees.sum()) + n)
+    for _ in range(min(64, n * n)):
+        u, v = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if u == v:
+            assert not precedes(u, v, degrees)
+        else:
+            assert (keys[u] < keys[v]) == precedes(u, v, degrees)
+
+
+@needs_shm
+@pytest.mark.parametrize("family", ["er", "power_law", "star", "path", "duplicates"])
+def test_pool_executor_end_to_end(family, tmp_path):
+    """One real process-pool orientation per family: orient_graph with
+    executor='processes' equals the reference, byte for byte."""
+    rng = np.random.default_rng(99)
+    n = 60
+    if family == "er":
+        iu, iv = np.triu_indices(n, k=1)
+        keep = rng.random(iu.shape[0]) < 0.15
+        graph = CSRGraph.from_edgelist(
+            EdgeList(np.stack([iu[keep], iv[keep]], axis=1), n)
+        )
+    elif family == "power_law":
+        graph = CSRGraph.from_edgelist(
+            power_law_degree_graph(n, exponent=2.1, min_degree=1, seed=4)
+        )
+    elif family == "star":
+        graph = CSRGraph.from_edgelist(
+            EdgeList(np.array([[0, i] for i in range(1, n)], dtype=np.int64), n)
+        )
+    elif family == "path":
+        graph = CSRGraph.from_edgelist(
+            EdgeList(np.array([[i, i + 1] for i in range(n - 1)], dtype=np.int64), n)
+        )
+    else:
+        src = rng.integers(0, n, size=200)
+        dst = rng.integers(0, n, size=200)
+        edges = np.stack([src, dst], axis=1)
+        graph = CSRGraph.from_edgelist(
+            EdgeList(np.concatenate([edges, edges[:50]]).astype(np.int64), n)
+        )
+    device = BlockDevice(tmp_path / "disk", block_size=512)
+    gf = write_graph(device, "g", graph)
+    expected = orient_csr(graph)
+    publication = publish_input_graph(gf)
+    try:
+        result = orient_graph(
+            gf, num_workers=3, executor="processes", shared=publication.descriptor
+        )
+    finally:
+        publication.unlink()
+    assert result.executor == "processes"
+    assert result.oriented.to_csr() == expected

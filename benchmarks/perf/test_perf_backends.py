@@ -68,6 +68,10 @@ def _config(shm: bool) -> PDTLConfig:
         modelled_cpu=True,
         scheduling="dynamic",
         shm=shm,
+        # the conftest fixture pins the numpy tier in this process, but the
+        # processes backends rebuild their workers from this pickled config;
+        # pin it here too so every backend measures the same kernel tier
+        kernel_backend="numpy",
     )
 
 

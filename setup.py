@@ -1,5 +1,17 @@
 """Legacy setup shim: the environment has no `wheel` package, so editable
 installs go through `setup.py develop` (pip --no-use-pep517)."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pdtl",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
+    extras_require={
+        # the optional compiled kernel tier (core/kernels_compiled.py);
+        # without it the dispatch layer falls back to the cffi tier where a
+        # C compiler is present, and to the always-available numpy tier
+        # otherwise (see core/kernel_backend.py)
+        "compiled": ["numba"],
+    },
+)

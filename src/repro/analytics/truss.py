@@ -168,12 +168,24 @@ def _triangle_edge_ids(graph: CSRGraph, keys: np.ndarray) -> np.ndarray:
     Enumerated with the shared MGT counting kernel over the degree-based
     orientation (bounded out-degrees, so the gather volume obeys the
     arboricity bound of Theorem III.4), then mapped to canonical ids with
-    one packed-key binary search per edge slot.
+    one packed-key binary search per edge slot (fused into a single
+    compiled loop when the kernel tier provides one).
     """
+    from repro.core import kernel_backend
     from repro.core.orientation import orient_csr
 
     oriented = orient_csr(graph)
     n = graph.num_vertices
+    fused_ids = kernel_backend.fused("triangle_edge_ids")
+    if n > kernels.MAX_PACKABLE_VERTICES:
+        fused_ids = None  # let the numpy packed_keys path raise its PDTLError
+    if fused_ids is not None:
+        # per-source-vertex slices of the sorted key array confine each
+        # fused lookup to its row instead of the whole edge list; one call
+        # covers every vertex (the numpy batching below only bounds peak
+        # gather memory, which the fused loop never materialises)
+        row_start = np.searchsorted(keys, np.arange(n + 1, dtype=np.int64) * n)
+        return fused_ids(oriented.indptr, oriented.indices, keys, row_start, n, 0, n)
     parts: list[np.ndarray] = []
     for blo, bhi in kernels.iter_vertex_batches(oriented.indptr, 0, n):
         cones, vs, ws, _ = kernels.triangle_range(
@@ -248,11 +260,19 @@ def truss_decomposition(
     initial_support = support.copy()
 
     # edge -> incident-triangle CSR: one stable argsort of the 3T slots
+    # (or, on the compiled tier, one stable counting-sort pass -- same
+    # inc_ptr/inc_triangles bit for bit)
+    from repro.core import kernel_backend
+
     flat = tri_edges.reshape(-1)
-    order = np.argsort(flat, kind="stable")
-    inc_triangles = order // 3  # slot index -> owning triangle id
-    inc_ptr = np.zeros(m + 1, dtype=np.int64)
-    np.cumsum(np.bincount(flat, minlength=m), out=inc_ptr[1:])
+    fused_incidence = kernel_backend.fused("incidence_csr")
+    if fused_incidence is not None:
+        inc_ptr, inc_triangles = fused_incidence(flat, m)
+    else:
+        order = np.argsort(flat, kind="stable")
+        inc_triangles = order // 3  # slot index -> owning triangle id
+        inc_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(flat, minlength=m), out=inc_ptr[1:])
     inc_degrees = inc_ptr[1:] - inc_ptr[:-1]
 
     alive = np.ones(m, dtype=bool)
@@ -260,6 +280,34 @@ def truss_decomposition(
     trussness = np.zeros(m, dtype=np.int64)
     rounds = 0
     k = 2
+
+    # compiled tier: one call runs every peel round of level k -- frontier
+    # scan, triangle kill, support decrement -- as a single fused loop.
+    # Rounds, trussness and the surviving supports are identical to the
+    # numpy batch peeling below by contract; Python keeps the outer loop
+    # and the k-jump over empty levels.
+    fused_peel = kernel_backend.fused("truss_peel_level")
+    if fused_peel is not None:
+        flat_edges = tri_edges.reshape(-1)
+        while alive.any():
+            peeled, level_rounds = fused_peel(
+                k, alive, support, trussness, inc_ptr, inc_triangles,
+                flat_edges, tri_alive,
+            )
+            rounds += level_rounds
+            if peeled == 0:
+                # nothing peels at this level: jump to the next populated one
+                k = max(k + 1, 2 + int(support[alive].min()))
+                continue
+            k += 1
+        return TrussResult(
+            num_vertices=n,
+            edges=edges,
+            trussness=trussness,
+            support=initial_support,
+            rounds=rounds,
+        )
+
     while alive.any():
         frontier = np.nonzero(alive & (support <= k - 2))[0]
         if frontier.shape[0] == 0:

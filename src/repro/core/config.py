@@ -151,6 +151,18 @@ class PDTLConfig:
         :class:`~repro.externalmem.iostats.IOStats` block counts and
         modelled device seconds are bit-identical with the flag on or off
         -- only host wall-clock changes.
+    kernel_backend:
+        which kernel tier evaluates the hot sorted-intersection loops
+        (:mod:`repro.core.kernel_backend`): ``"auto"`` (default) picks the
+        best available of numba, cffi and numpy; ``"numpy"`` pins the
+        always-available vectorised tier; ``"numba"``/``"cffi"`` request a
+        compiled tier and degrade to numpy with a :class:`RuntimeWarning`
+        when unavailable.  Strictly below the accounting layer: triangle
+        counts, listing order, :class:`~repro.externalmem.iostats.IOStats`
+        and modelled times are bit-identical across tiers (the
+        backend-equivalence suite asserts it), only host wall-clock
+        changes.  Worker processes re-apply the knob from the pickled
+        config, so one setting governs every execution backend.
     """
 
     num_nodes: int = 1
@@ -174,6 +186,7 @@ class PDTLConfig:
     readahead_bytes: int = 0
     shm: bool = False
     mmap_reads: bool = False
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
@@ -242,6 +255,13 @@ class PDTLConfig:
         if self.host_jitter_seconds < 0.0:
             raise ConfigurationError("host_jitter_seconds must be non-negative")
         object.__setattr__(self, "host_jitter_seconds", float(self.host_jitter_seconds))
+        kernel_backend = str(self.kernel_backend).lower()
+        if kernel_backend not in ("auto", "numpy", "numba", "cffi"):
+            raise ConfigurationError(
+                "kernel_backend must be one of 'auto', 'numpy', 'numba', 'cffi', "
+                f"got {self.kernel_backend!r}"
+            )
+        object.__setattr__(self, "kernel_backend", kernel_backend)
 
     def _normalize_worker_spec(self, spec, label, coerce, check, requirement):
         """Normalise an injection spec (dict or iterable of ``(worker, value)``

@@ -33,14 +33,31 @@ shares one implementation:
 All functions are pure and operate on plain numpy arrays, so they serve
 the in-memory baselines, the external-memory MGT inner loop (which gathers
 from its window array instead of the full adjacency), and the tests alike.
+
+Dispatch seam
+-------------
+
+Each batch primitive below may be routed to a compiled implementation
+registered by :mod:`repro.core.kernel_backend` (numba- or cffi-compiled
+loops that fuse the gather → intersect → count chain without the
+intermediate arrays).  The numpy bodies live on as ``_*_numpy`` twins --
+they are the always-available fallback, the per-function escape hatch when
+a single compiled kernel is unavailable, and the reference the compiled
+tier is property-tested against (:data:`NUMPY_IMPLS`).  Compiled or not,
+every implementation must return bit-identical values: same counts, same
+element order, same deterministic ``operations`` work measure.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import PDTLError
+
 __all__ = [
     "DEFAULT_BATCH_ENTRIES",
+    "MAX_PACKABLE_VERTICES",
+    "NUMPY_IMPLS",
     "packed_keys",
     "csr_packed_keys",
     "window_sources",
@@ -55,12 +72,43 @@ __all__ = [
     "edge_intersections",
 ]
 
+#: Compiled implementations installed by :func:`repro.core.kernel_backend.activate`,
+#: keyed by primitive name.  Empty under the numpy tier.  Callers never touch
+#: this directly -- the public functions consult it via :func:`_impl`.
+_ACTIVE_IMPLS: dict = {}
+
+#: Set once :mod:`repro.core.kernel_backend` has resolved a backend (even if
+#: the resolution was "numpy, nothing to install").  Guards the lazy
+#: auto-detection so steady-state dispatch is a single dict lookup.
+_BACKEND_READY = False
+
+
+def _impl(name: str):
+    """Active compiled implementation of ``name``, or ``None`` for numpy.
+
+    On first use triggers :func:`repro.core.kernel_backend.initialize_default`
+    so plain library users (no config knob, no env var) transparently get the
+    best available tier.
+    """
+    if not _BACKEND_READY:
+        from repro.core import kernel_backend
+
+        kernel_backend.initialize_default()
+    return _ACTIVE_IMPLS.get(name)
+
 #: Default bound on adjacency entries per :func:`triangle_range` batch.  The
 #: batch's packed-key array is the haystack of a binary search probed once
 #: per gathered element, so keeping it L1/L2-resident (8192 entries = 64 KB)
 #: measurably beats larger batches while still amortising numpy dispatch
 #: overhead over thousands of edges per call.
 DEFAULT_BATCH_ENTRIES = 8192
+
+#: Largest ``num_vertices`` whose packed keys fit int64.  The packing maps
+#: ``(source, destination)`` with both ids below ``n`` to ``source * n +
+#: destination <= n**2 - 1``, so the requirement is ``n**2 <= 2**63``:
+#: ``3037000499**2 == 9223372030926249001 <= 2**63 - 1`` while
+#: ``3037000500**2`` already overflows.
+MAX_PACKABLE_VERTICES = 3037000499
 
 
 def packed_keys(
@@ -71,7 +119,20 @@ def packed_keys(
     The packing ``source * n + destination`` is strictly monotone in the
     lexicographic pair order whenever ``0 <= destination < n``, so packed
     keys of a (source, destination)-sorted edge set are themselves sorted.
+
+    Raises :class:`~repro.errors.PDTLError` when ``num_vertices`` exceeds
+    :data:`MAX_PACKABLE_VERTICES` -- beyond that the products silently wrap
+    around int64 and the "monotone, therefore sorted" guarantee every caller
+    builds on is gone.
     """
+    if num_vertices > MAX_PACKABLE_VERTICES:
+        raise PDTLError(
+            f"cannot pack (source, destination) pairs for num_vertices="
+            f"{num_vertices}: keys source * num_vertices + destination exceed "
+            f"int64 once num_vertices > {MAX_PACKABLE_VERTICES} "
+            f"(num_vertices**2 - 1 must stay <= 2**63 - 1), and wrapped keys "
+            f"would break the sorted-key membership tests"
+        )
     return np.asarray(sources, dtype=np.int64) * np.int64(num_vertices) + np.asarray(
         destinations, dtype=np.int64
     )
@@ -112,6 +173,13 @@ def sorted_membership(haystack: np.ndarray, queries: np.ndarray) -> np.ndarray:
     twin of the per-element sorted-array intersection the paper's modified
     MGT performs.
     """
+    impl = _impl("sorted_membership")
+    if impl is not None:
+        return impl(haystack, queries)
+    return _sorted_membership_numpy(haystack, queries)
+
+
+def _sorted_membership_numpy(haystack: np.ndarray, queries: np.ndarray) -> np.ndarray:
     if queries.shape[0] == 0:
         return np.zeros(0, dtype=bool)
     if haystack.shape[0] == 0:
@@ -156,6 +224,13 @@ def merge_positions(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarra
     key merge, which is how the external-sort merge splices two run buffers
     (rows follow their packed keys).
     """
+    impl = _impl("merge_positions")
+    if impl is not None:
+        return impl(a, b)
+    return _merge_positions_numpy(a, b)
+
+
+def _merge_positions_numpy(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     pos_a = np.arange(a.shape[0]) + np.searchsorted(b, a, side="left")
     pos_b = np.arange(b.shape[0]) + np.searchsorted(a, b, side="right")
     return pos_a, pos_b
@@ -172,7 +247,14 @@ def merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 def intersect_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elements of sorted array ``b`` that also occur in sorted array ``a``."""
-    return b[sorted_membership(a, b)]
+    impl = _impl("intersect_sorted")
+    if impl is not None:
+        return impl(a, b)
+    return _intersect_sorted_numpy(a, b)
+
+
+def _intersect_sorted_numpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return b[_sorted_membership_numpy(a, b)]
 
 
 def iter_vertex_batches(
@@ -220,6 +302,19 @@ def triangle_range(
     ``operations`` counts block entries scanned plus gathered elements --
     the same deterministic work measure MGT's modelled CPU mode uses.
     """
+    impl = _impl("triangle_range")
+    if impl is not None:
+        return impl(indptr, indices, lo, hi, want_triples)
+    return _triangle_range_numpy(indptr, indices, lo, hi, want_triples)
+
+
+def _triangle_range_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    lo: int,
+    hi: int,
+    want_triples: bool = False,
+) -> tuple:
     num_vertices = int(indptr.shape[0] - 1)
     base = int(indptr[lo])
     block_adj = indices[base : int(indptr[hi])]
@@ -242,7 +337,7 @@ def triangle_range(
     # the keys are sorted because the range adjacency is (u, w)-sorted.
     block_keys = packed_keys(entry_src, block_adj, num_vertices)
     query_keys = packed_keys(entry_src[owners], ev_all, num_vertices)
-    found = sorted_membership(block_keys, query_keys)
+    found = _sorted_membership_numpy(block_keys, query_keys)
 
     if want_triples:
         hit_owner = owners[found]
@@ -267,9 +362,25 @@ def count_cone_range(
     :func:`iter_vertex_batches`.
     """
     hi = int(indptr.shape[0] - 1) if hi is None else hi
+    impl = _impl("count_cone_range")
+    if impl is not None:
+        # the fused loop keeps no per-batch scratch, so it takes the whole
+        # range in one call; batch_entries only shapes the numpy fallback
+        return impl(indptr, indices, lo, hi)
+    return _count_cone_range_numpy(indptr, indices, lo, hi, batch_entries)
+
+
+def _count_cone_range_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    lo: int = 0,
+    hi: int | None = None,
+    batch_entries: int = DEFAULT_BATCH_ENTRIES,
+) -> int:
+    hi = int(indptr.shape[0] - 1) if hi is None else hi
     total = 0
     for blo, bhi in iter_vertex_batches(indptr, lo, hi, batch_entries):
-        count, _ = triangle_range(indptr, indices, blo, bhi)
+        count, _ = _triangle_range_numpy(indptr, indices, blo, bhi)
         total += count
     return total
 
@@ -289,7 +400,27 @@ def edge_intersections(
     the *whole* graph (pass ``csr_keys`` to amortise
     :func:`csr_packed_keys` across calls).  Returns the total count, or a
     per-edge count array with ``per_edge=True``.
+
+    ``csr_keys``, when given, must equal ``csr_packed_keys(indptr, indices)``
+    -- it is a cache, not an independent input; the compiled tier intersects
+    the adjacency lists directly and never materialises the keys.
     """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    impl = _impl("edge_intersections")
+    if impl is not None:
+        return impl(indptr, indices, us, vs, per_edge)
+    return _edge_intersections_numpy(indptr, indices, us, vs, csr_keys, per_edge)
+
+
+def _edge_intersections_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    csr_keys: np.ndarray | None = None,
+    per_edge: bool = False,
+):
     us = np.asarray(us, dtype=np.int64)
     vs = np.asarray(vs, dtype=np.int64)
     if csr_keys is None:
@@ -298,7 +429,23 @@ def edge_intersections(
     seg_starts = indptr[vs]
     seg_lengths = (indptr[vs + 1] - indptr[vs]).astype(np.int64)
     ev_all, owners = segment_gather(indices, seg_starts, seg_lengths)
-    found = sorted_membership(csr_keys, packed_keys(us[owners], ev_all, num_vertices))
+    found = _sorted_membership_numpy(
+        csr_keys, packed_keys(us[owners], ev_all, num_vertices)
+    )
     if per_edge:
         return np.bincount(owners[found], minlength=us.shape[0])
     return int(np.count_nonzero(found))
+
+
+#: The pure-numpy reference implementation of every dispatched primitive,
+#: by registry name.  Compiled backends are property-tested against these
+#: twins, and :func:`repro.core.kernel_backend.warmup` sanity-checks each
+#: compiled kernel against them before keeping it in the registry.
+NUMPY_IMPLS = {
+    "sorted_membership": _sorted_membership_numpy,
+    "merge_positions": _merge_positions_numpy,
+    "intersect_sorted": _intersect_sorted_numpy,
+    "triangle_range": _triangle_range_numpy,
+    "count_cone_range": _count_cone_range_numpy,
+    "edge_intersections": _edge_intersections_numpy,
+}

@@ -1,0 +1,796 @@
+"""C (cffi) implementations of the hot kernels, bit-identical to numpy.
+
+This is the compiled tier used where a C compiler is available but numba
+is not: the same fused loops as :mod:`repro.core.kernels_compiled`,
+written once as C and built with cffi's out-of-line API mode into an
+extension module cached on disk (``PDTL_KERNEL_CACHE`` or a per-user
+temp directory, keyed by a hash of the source).  The first process to
+run pays one ``gcc`` invocation (~1-2 s); every later process loads the
+cached ``.so``.
+
+Semantics are pinned to the numpy twins in
+:data:`repro.core.kernels.NUMPY_IMPLS`:
+
+* membership-style intersection counts each *query* element independently
+  (duplicate queries each count, duplicate haystack entries do not);
+* emission order of ``triangle_range``/``mgt_block_scan`` triples is the
+  numpy gather order: adjacency entries by (source, position), hits within
+  an entry in ``N⁺(v)`` order;
+* ``operations`` is the deterministic scanned + gathered work measure, so
+  modelled CPU seconds are identical under either tier;
+* ``edge_support_accumulate`` rolls back every applied increment before
+  reporting a bad pair, matching the numpy sink's check-before-mutate
+  contract.
+
+C calls release the GIL (cffi does so around every call), so the threads
+execution backend scales the same way the numba tier's ``nogil`` loops do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import tempfile
+from typing import Callable
+
+import numpy as np
+
+_MODULE_NAME = "_pdtl_kernels_cffi"
+
+_CDEF = """
+int64_t pdtl_sorted_membership(const int64_t *hay, int64_t nh,
+                               const int64_t *q, int64_t nq, uint8_t *out);
+void pdtl_merge_positions(const int64_t *a, int64_t na,
+                          const int64_t *b, int64_t nb,
+                          int64_t *pa, int64_t *pb);
+int64_t pdtl_intersect_sorted(const int64_t *a, int64_t na,
+                              const int64_t *b, int64_t nb, int64_t *out);
+int64_t pdtl_count_cone_range(const int64_t *indptr, const int64_t *indices,
+                              int64_t lo, int64_t hi);
+int64_t pdtl_triangle_gathered(const int64_t *indptr, const int64_t *indices,
+                               int64_t lo, int64_t hi);
+int64_t pdtl_triangle_count(const int64_t *indptr, const int64_t *indices,
+                            int64_t lo, int64_t hi, int64_t *ops);
+int64_t pdtl_triangle_list(const int64_t *indptr, const int64_t *indices,
+                           int64_t lo, int64_t hi, int64_t *cones,
+                           int64_t *vs, int64_t *ws, int64_t *ops);
+int64_t pdtl_edge_intersections(const int64_t *indptr, const int64_t *indices,
+                                const int64_t *us, const int64_t *vs,
+                                int64_t ne, int64_t *per_edge);
+void pdtl_mgt_block_bound(const int64_t *block_adj, const int64_t *block_offsets,
+                          int64_t nbv, int64_t vlow, int64_t vhigh,
+                          const int64_t *win_degrees,
+                          int64_t *pairs, int64_t *total);
+int64_t pdtl_mgt_block_scan(const int64_t *block_adj, const int64_t *block_offsets,
+                            int64_t nbv, const int64_t *edg,
+                            int64_t vlow, int64_t vhigh,
+                            const int64_t *win_offsets, const int64_t *win_degrees,
+                            int64_t want, int64_t *cones, int64_t *vs, int64_t *ws,
+                            int64_t *pairs, int64_t *total);
+int64_t pdtl_edge_support_accumulate(const int64_t *edge_keys, int64_t m,
+                                     int64_t nvert, const int64_t *us,
+                                     const int64_t *vs, const int64_t *ws,
+                                     int64_t n, int64_t *support);
+int64_t pdtl_truss_peel_level(int64_t k, uint8_t *alive, int64_t *support,
+                              int64_t *trussness, const int64_t *inc_ptr,
+                              const int64_t *inc_tri, const int64_t *tri_edges,
+                              uint8_t *tri_alive, int64_t m,
+                              int64_t *frontier, uint8_t *in_touched,
+                              int64_t *rounds_out);
+int64_t pdtl_triangle_edge_ids(const int64_t *indptr, const int64_t *indices,
+                               const int64_t *keys, const int64_t *row_start,
+                               int64_t n, int64_t lo, int64_t hi,
+                               int64_t *slot_to_id, int64_t *out);
+void pdtl_incidence_csr(const int64_t *flat, int64_t nslots, int64_t m,
+                        int64_t *inc_ptr, int64_t *inc_tri, int64_t *cursor);
+"""
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* first index with a[i] >= key */
+static int64_t pdtl_lower_bound(const int64_t *a, int64_t n, int64_t key) {
+    int64_t lo = 0, hi = n;
+    while (lo < hi) {
+        int64_t mid = lo + ((hi - lo) >> 1);
+        if (a[mid] < key) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+/* first index with a[i] > key (avoids key + 1 overflow at INT64_MAX) */
+static int64_t pdtl_upper_bound(const int64_t *a, int64_t n, int64_t key) {
+    int64_t lo = 0, hi = n;
+    while (lo < hi) {
+        int64_t mid = lo + ((hi - lo) >> 1);
+        if (a[mid] <= key) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+/* |{ j : b[j] in a }| for sorted a, b -- numpy membership semantics:
+ * every b element is tested independently (duplicate b's each count,
+ * duplicate a's count once).  Galloping when the sizes are lopsided,
+ * linear merge otherwise. */
+static int64_t pdtl_isect_count(const int64_t *a, int64_t na,
+                                const int64_t *b, int64_t nb) {
+    int64_t c = 0;
+    if (na == 0 || nb == 0) return 0;
+    if (na > 32 * nb) {
+        for (int64_t j = 0; j < nb; j++) {
+            int64_t pos = pdtl_lower_bound(a, na, b[j]);
+            if (pos < na && a[pos] == b[j]) c++;
+        }
+        return c;
+    }
+    if (nb > 32 * na) {
+        for (int64_t i = 0; i < na; i++) {
+            if (i > 0 && a[i] == a[i - 1]) continue;
+            c += pdtl_upper_bound(b, nb, a[i]) - pdtl_lower_bound(b, nb, a[i]);
+        }
+        return c;
+    }
+    {
+        int64_t i = 0, j = 0;
+        while (i < na && j < nb) {
+            if (a[i] < b[j]) i++;
+            else if (a[i] > b[j]) j++;
+            else { c++; j++; } /* keep i: the next b may repeat this value */
+        }
+    }
+    return c;
+}
+
+int64_t pdtl_sorted_membership(const int64_t *hay, int64_t nh,
+                               const int64_t *q, int64_t nq, uint8_t *out) {
+    int64_t hits = 0;
+    for (int64_t i = 0; i < nq; i++) {
+        int64_t pos = pdtl_lower_bound(hay, nh, q[i]);
+        uint8_t hit = (uint8_t)(pos < nh && hay[pos] == q[i]);
+        out[i] = hit;
+        hits += hit;
+    }
+    return hits;
+}
+
+/* stable merge positions: ties place a's elements first */
+void pdtl_merge_positions(const int64_t *a, int64_t na,
+                          const int64_t *b, int64_t nb,
+                          int64_t *pa, int64_t *pb) {
+    int64_t i = 0, j = 0;
+    while (i < na || j < nb) {
+        if (j >= nb || (i < na && a[i] <= b[j])) { pa[i] = i + j; i++; }
+        else { pb[j] = i + j; j++; }
+    }
+}
+
+int64_t pdtl_intersect_sorted(const int64_t *a, int64_t na,
+                              const int64_t *b, int64_t nb, int64_t *out) {
+    int64_t n = 0, i = 0;
+    for (int64_t j = 0; j < nb; j++) {
+        while (i < na && a[i] < b[j]) i++;
+        if (i >= na) break;
+        if (a[i] == b[j]) out[n++] = b[j];
+    }
+    return n;
+}
+
+int64_t pdtl_count_cone_range(const int64_t *indptr, const int64_t *indices,
+                              int64_t lo, int64_t hi) {
+    int64_t total = 0;
+    for (int64_t u = lo; u < hi; u++) {
+        const int64_t *nu = indices + indptr[u];
+        int64_t du = indptr[u + 1] - indptr[u];
+        for (int64_t p = 0; p < du; p++) {
+            int64_t v = nu[p];
+            total += pdtl_isect_count(nu, du, indices + indptr[v],
+                                      indptr[v + 1] - indptr[v]);
+        }
+    }
+    return total;
+}
+
+int64_t pdtl_triangle_gathered(const int64_t *indptr, const int64_t *indices,
+                               int64_t lo, int64_t hi) {
+    int64_t g = 0;
+    for (int64_t p = indptr[lo]; p < indptr[hi]; p++) {
+        int64_t v = indices[p];
+        g += indptr[v + 1] - indptr[v];
+    }
+    return g;
+}
+
+int64_t pdtl_triangle_count(const int64_t *indptr, const int64_t *indices,
+                            int64_t lo, int64_t hi, int64_t *ops) {
+    int64_t count = 0, gathered = 0;
+    for (int64_t u = lo; u < hi; u++) {
+        const int64_t *nu = indices + indptr[u];
+        int64_t du = indptr[u + 1] - indptr[u];
+        for (int64_t p = 0; p < du; p++) {
+            int64_t v = nu[p];
+            int64_t dv = indptr[v + 1] - indptr[v];
+            gathered += dv;
+            count += pdtl_isect_count(nu, du, indices + indptr[v], dv);
+        }
+    }
+    *ops = (indptr[hi] - indptr[lo]) + gathered;
+    return count;
+}
+
+int64_t pdtl_triangle_list(const int64_t *indptr, const int64_t *indices,
+                           int64_t lo, int64_t hi, int64_t *cones,
+                           int64_t *vs, int64_t *ws, int64_t *ops) {
+    int64_t nhit = 0, gathered = 0;
+    for (int64_t u = lo; u < hi; u++) {
+        const int64_t *nu = indices + indptr[u];
+        int64_t du = indptr[u + 1] - indptr[u];
+        for (int64_t p = 0; p < du; p++) {
+            int64_t v = nu[p];
+            const int64_t *nv = indices + indptr[v];
+            int64_t dv = indptr[v + 1] - indptr[v];
+            gathered += dv;
+            if (du > 32 * dv) {
+                /* lopsided pair (hub cone list): binary-search each w --
+                 * emission order (ascending j) matches the merge loop */
+                for (int64_t j = 0; j < dv; j++) {
+                    int64_t w = nv[j];
+                    int64_t pos = pdtl_lower_bound(nu, du, w);
+                    if (pos < du && nu[pos] == w) {
+                        cones[nhit] = u; vs[nhit] = v; ws[nhit] = w; nhit++;
+                    }
+                }
+            } else {
+                int64_t i = 0;
+                for (int64_t j = 0; j < dv; j++) {
+                    int64_t w = nv[j];
+                    while (i < du && nu[i] < w) i++;
+                    if (i >= du) break;
+                    if (nu[i] == w) {
+                        cones[nhit] = u; vs[nhit] = v; ws[nhit] = w; nhit++;
+                    }
+                }
+            }
+        }
+    }
+    *ops = (indptr[hi] - indptr[lo]) + gathered;
+    return nhit;
+}
+
+int64_t pdtl_edge_intersections(const int64_t *indptr, const int64_t *indices,
+                                const int64_t *us, const int64_t *vs,
+                                int64_t ne, int64_t *per_edge) {
+    int64_t total = 0;
+    for (int64_t e = 0; e < ne; e++) {
+        int64_t u = us[e], v = vs[e];
+        int64_t c = pdtl_isect_count(indices + indptr[u],
+                                     indptr[u + 1] - indptr[u],
+                                     indices + indptr[v],
+                                     indptr[v + 1] - indptr[v]);
+        if (per_edge) per_edge[e] = c;
+        total += c;
+    }
+    return total;
+}
+
+void pdtl_mgt_block_bound(const int64_t *block_adj, const int64_t *block_offsets,
+                          int64_t nbv, int64_t vlow, int64_t vhigh,
+                          const int64_t *win_degrees,
+                          int64_t *pairs, int64_t *total) {
+    int64_t npairs = 0, t = 0;
+    for (int64_t p = block_offsets[0]; p < block_offsets[nbv]; p++) {
+        int64_t v = block_adj[p];
+        if (v >= vlow && v <= vhigh) {
+            int64_t d = win_degrees[v - vlow];
+            if (d > 0) { npairs++; t += d; }
+        }
+    }
+    *pairs = npairs;
+    *total = t;
+}
+
+int64_t pdtl_mgt_block_scan(const int64_t *block_adj, const int64_t *block_offsets,
+                            int64_t nbv, const int64_t *edg,
+                            int64_t vlow, int64_t vhigh,
+                            const int64_t *win_offsets, const int64_t *win_degrees,
+                            int64_t want, int64_t *cones, int64_t *vs, int64_t *ws,
+                            int64_t *pairs, int64_t *total) {
+    int64_t npairs = 0, t = 0, nhit = 0;
+    for (int64_t bu = 0; bu < nbv; bu++) {
+        const int64_t *nu = block_adj + block_offsets[bu];
+        int64_t du = block_offsets[bu + 1] - block_offsets[bu];
+        for (int64_t p = 0; p < du; p++) {
+            int64_t v = nu[p];
+            int64_t d;
+            const int64_t *ev;
+            if (v < vlow || v > vhigh) continue;
+            d = win_degrees[v - vlow];
+            if (d <= 0) continue;
+            npairs++;
+            t += d;
+            ev = edg + win_offsets[v - vlow];
+            if (want) {
+                if (du > 32 * d) {
+                    for (int64_t j = 0; j < d; j++) {
+                        int64_t w = ev[j];
+                        int64_t pos = pdtl_lower_bound(nu, du, w);
+                        if (pos < du && nu[pos] == w) {
+                            cones[nhit] = bu; vs[nhit] = v; ws[nhit] = w; nhit++;
+                        }
+                    }
+                } else {
+                    int64_t i = 0;
+                    for (int64_t j = 0; j < d; j++) {
+                        int64_t w = ev[j];
+                        while (i < du && nu[i] < w) i++;
+                        if (i >= du) break;
+                        if (nu[i] == w) {
+                            cones[nhit] = bu; vs[nhit] = v; ws[nhit] = w; nhit++;
+                        }
+                    }
+                }
+            } else {
+                nhit += pdtl_isect_count(nu, du, ev, d);
+            }
+        }
+    }
+    *pairs = npairs;
+    *total = t;
+    return nhit;
+}
+
+int64_t pdtl_edge_support_accumulate(const int64_t *edge_keys, int64_t m,
+                                     int64_t nvert, const int64_t *us,
+                                     const int64_t *vs, const int64_t *ws,
+                                     int64_t n, int64_t *support) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t s[3], d[3];
+        s[0] = us[i]; s[1] = us[i]; s[2] = vs[i];
+        d[0] = vs[i]; d[1] = ws[i]; d[2] = ws[i];
+        for (int sl = 0; sl < 3; sl++) {
+            int64_t key = s[sl] * nvert + d[sl];
+            int64_t pos = pdtl_lower_bound(edge_keys, m, key);
+            if (pos >= m || edge_keys[pos] != key) {
+                /* bad pair: undo every increment already applied so the
+                 * caller can raise with the sink untouched */
+                for (int64_t ri = 0; ri <= i; ri++) {
+                    int64_t rs[3], rd[3];
+                    int rmax = (ri == i) ? sl : 3;
+                    rs[0] = us[ri]; rs[1] = us[ri]; rs[2] = vs[ri];
+                    rd[0] = vs[ri]; rd[1] = ws[ri]; rd[2] = ws[ri];
+                    for (int rsl = 0; rsl < rmax; rsl++) {
+                        int64_t rkey = rs[rsl] * nvert + rd[rsl];
+                        support[pdtl_lower_bound(edge_keys, m, rkey)]--;
+                    }
+                }
+                return 0;
+            }
+            support[pos]++;
+        }
+    }
+    return 1;
+}
+
+int64_t pdtl_truss_peel_level(int64_t k, uint8_t *alive, int64_t *support,
+                              int64_t *trussness, const int64_t *inc_ptr,
+                              const int64_t *inc_tri, const int64_t *tri_edges,
+                              uint8_t *tri_alive, int64_t m,
+                              int64_t *frontier, uint8_t *in_touched,
+                              int64_t *rounds_out) {
+    int64_t rounds = 0, peeled = 0;
+    int64_t thresh = k - 2;
+    /* round 1: full scan.  Later rounds draw their frontier from the
+     * edges whose support was decremented this round (the touched set,
+     * staged at frontier[nf..]) -- an edge can newly cross the threshold
+     * only by losing support, so the frontier sets, the round count and
+     * every output array are identical to rescanning all m edges. */
+    int64_t nf = 0;
+    for (int64_t e = 0; e < m; e++)
+        if (alive[e] && support[e] <= thresh) frontier[nf++] = e;
+    while (nf > 0) {
+        int64_t nt = 0;
+        rounds++;
+        for (int64_t f = 0; f < nf; f++) {
+            alive[frontier[f]] = 0;
+            trussness[frontier[f]] = k;
+        }
+        peeled += nf;
+        for (int64_t f = 0; f < nf; f++) {
+            int64_t e = frontier[f];
+            for (int64_t q = inc_ptr[e]; q < inc_ptr[e + 1]; q++) {
+                int64_t tri = inc_tri[q];
+                if (!tri_alive[tri]) continue;
+                tri_alive[tri] = 0;
+                for (int sl = 0; sl < 3; sl++) {
+                    int64_t te = tri_edges[3 * tri + sl];
+                    if (alive[te]) {
+                        support[te]--;
+                        if (!in_touched[te]) {
+                            in_touched[te] = 1;
+                            frontier[nf + nt] = te;
+                            nt++;
+                        }
+                    }
+                }
+            }
+        }
+        {
+            /* dead frontier and alive touched edges are disjoint, so
+             * nf + nt <= m; compacting the next frontier to the front
+             * trails the reads (nf >= 1) and never overwrites them */
+            int64_t start = nf, nnext = 0;
+            for (int64_t i = 0; i < nt; i++) {
+                int64_t te = frontier[start + i];
+                in_touched[te] = 0;
+                if (alive[te] && support[te] <= thresh) frontier[nnext++] = te;
+            }
+            nf = nnext;
+        }
+    }
+    *rounds_out = rounds;
+    return peeled;
+}
+
+/* the triangle_list enumeration (same traversal, same emission order)
+ * fused with the edge-id mapping.  First every oriented adjacency slot is
+ * mapped to its canonical edge id: the pair is canonicalised to
+ * (min, max), packed into min*n+max and looked up with the same
+ * lower_bound np.searchsorted uses, confined to the source row
+ * [row_start[x], row_start[x+1]) (row_start[u] = lower bound of u*n in
+ * keys, which brackets every key of row x, so the position equals the
+ * global searchsorted result).  The enumeration then emits each hit's
+ * three ids by direct slot lookup -- (u,v) at the scanned slot, (u,w) at
+ * the matched position in N(u), (v,w) at the gathered slot -- with no
+ * per-triangle searching at all. */
+int64_t pdtl_triangle_edge_ids(const int64_t *indptr, const int64_t *indices,
+                               const int64_t *keys, const int64_t *row_start,
+                               int64_t n, int64_t lo, int64_t hi,
+                               int64_t *slot_to_id, int64_t *out) {
+    int64_t nhit = 0;
+    for (int64_t u = 0; u < n; u++) {
+        for (int64_t p = indptr[u]; p < indptr[u + 1]; p++) {
+            int64_t v = indices[p];
+            int64_t x = u < v ? u : v;
+            int64_t y = u < v ? v : u;
+            int64_t rs = row_start[x];
+            slot_to_id[p] = rs + pdtl_lower_bound(
+                keys + rs, row_start[x + 1] - rs, x * n + y);
+        }
+    }
+    for (int64_t u = lo; u < hi; u++) {
+        const int64_t *nu = indices + indptr[u];
+        int64_t du = indptr[u + 1] - indptr[u];
+        for (int64_t p = 0; p < du; p++) {
+            int64_t v = nu[p];
+            const int64_t *nv = indices + indptr[v];
+            int64_t dv = indptr[v + 1] - indptr[v];
+            int64_t uv = slot_to_id[indptr[u] + p];
+            if (du > 32 * dv) {
+                for (int64_t j = 0; j < dv; j++) {
+                    int64_t w = nv[j];
+                    int64_t pos = pdtl_lower_bound(nu, du, w);
+                    if (pos < du && nu[pos] == w) {
+                        out[3 * nhit] = uv;
+                        out[3 * nhit + 1] = slot_to_id[indptr[u] + pos];
+                        out[3 * nhit + 2] = slot_to_id[indptr[v] + j];
+                        nhit++;
+                    }
+                }
+            } else {
+                int64_t i = 0;
+                for (int64_t j = 0; j < dv; j++) {
+                    int64_t w = nv[j];
+                    while (i < du && nu[i] < w) i++;
+                    if (i >= du) break;
+                    if (nu[i] == w) {
+                        out[3 * nhit] = uv;
+                        out[3 * nhit + 1] = slot_to_id[indptr[u] + i];
+                        out[3 * nhit + 2] = slot_to_id[indptr[v] + j];
+                        nhit++;
+                    }
+                }
+            }
+        }
+    }
+    return nhit;
+}
+
+/* edge -> incident-triangle CSR by stable counting sort of the 3T slots:
+ * slots are visited in increasing index order and appended to their edge's
+ * bucket, which is exactly np.argsort(flat, kind="stable") // 3 */
+void pdtl_incidence_csr(const int64_t *flat, int64_t nslots, int64_t m,
+                        int64_t *inc_ptr, int64_t *inc_tri, int64_t *cursor) {
+    for (int64_t e = 0; e <= m; e++) inc_ptr[e] = 0;
+    for (int64_t s = 0; s < nslots; s++) inc_ptr[flat[s] + 1]++;
+    for (int64_t e = 0; e < m; e++) {
+        inc_ptr[e + 1] += inc_ptr[e];
+        cursor[e] = inc_ptr[e];
+    }
+    for (int64_t s = 0; s < nslots; s++) {
+        int64_t e = flat[s];
+        inc_tri[cursor[e]++] = s / 3;
+    }
+}
+"""
+
+_loaded: tuple | None = None
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("PDTL_KERNEL_CACHE")
+    if not root:
+        try:
+            user = os.getlogin()
+        except OSError:
+            user = str(os.getuid()) if hasattr(os, "getuid") else "user"
+        root = os.path.join(tempfile.gettempdir(), f"pdtl-kernels-{user}")
+    digest = hashlib.sha256((_CDEF + _C_SOURCE).encode()).hexdigest()[:16]
+    return os.path.join(root, digest)
+
+
+def _build(cache: str) -> str:
+    """Compile the extension into the cache dir; returns the .so path."""
+    from cffi import FFI
+
+    builder = FFI()
+    builder.cdef(_CDEF)
+    builder.set_source(_MODULE_NAME, _C_SOURCE, extra_compile_args=["-O3"])
+    build_dir = os.path.join(cache, f"build-{os.getpid()}")
+    os.makedirs(build_dir, exist_ok=True)
+    try:
+        so_path = builder.compile(tmpdir=build_dir)
+        final = os.path.join(cache, os.path.basename(so_path))
+        os.replace(so_path, final)  # atomic: concurrent builders converge
+        return final
+    finally:
+        shutil.rmtree(build_dir, ignore_errors=True)
+
+
+def _get_lib():
+    """Load (building once if needed) the cached extension: ``(ffi, lib)``."""
+    global _loaded
+    if _loaded is not None:
+        return _loaded
+    cache = _cache_dir()
+    os.makedirs(cache, exist_ok=True)
+    so_path = None
+    for entry in sorted(os.listdir(cache)):
+        if entry.startswith(_MODULE_NAME) and entry.endswith(".so"):
+            so_path = os.path.join(cache, entry)
+            break
+    if so_path is None:
+        so_path = _build(cache)
+    spec = importlib.util.spec_from_file_location(_MODULE_NAME, so_path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load compiled kernels from {so_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    _loaded = (module.ffi, module.lib)
+    return _loaded
+
+
+def build_registry() -> dict[str, Callable]:
+    """Kernel registry for :func:`repro.core.kernel_backend.activate`.
+
+    Raises when cffi or the C toolchain is unavailable -- the caller treats
+    that as "backend unavailable" and falls back.
+    """
+    ffi, lib = _get_lib()
+
+    def as_i64(arr: np.ndarray) -> np.ndarray:
+        a = np.asarray(arr)
+        if a.dtype != np.int64:
+            a = a.astype(np.int64)
+        elif not a.flags.c_contiguous:
+            a = np.ascontiguousarray(a)
+        return a
+
+    def ptr(a: np.ndarray):
+        return ffi.NULL if a.shape[0] == 0 else ffi.from_buffer("int64_t[]", a)
+
+    def wptr(a: np.ndarray):
+        if a.shape[0] == 0:
+            return ffi.NULL
+        return ffi.from_buffer("int64_t[]", a, require_writable=True)
+
+    def bptr(a: np.ndarray):
+        if a.shape[0] == 0:
+            return ffi.NULL
+        return ffi.from_buffer("uint8_t[]", a, require_writable=True)
+
+    def integer_kinds(*arrays: np.ndarray) -> bool:
+        return all(np.asarray(a).dtype.kind in "iu" for a in arrays)
+
+    def sorted_membership(haystack, queries):
+        from repro.core.kernels import NUMPY_IMPLS
+
+        if not integer_kinds(haystack, queries):
+            return NUMPY_IMPLS["sorted_membership"](haystack, queries)
+        haystack = as_i64(haystack)
+        queries = as_i64(queries)
+        out = np.zeros(queries.shape[0], dtype=bool)
+        if queries.shape[0] and haystack.shape[0]:
+            lib.pdtl_sorted_membership(
+                ptr(haystack), haystack.shape[0], ptr(queries), queries.shape[0], bptr(out)
+            )
+        return out
+
+    def merge_positions(a, b):
+        from repro.core.kernels import NUMPY_IMPLS
+
+        if not integer_kinds(a, b):
+            return NUMPY_IMPLS["merge_positions"](a, b)
+        a = as_i64(a)
+        b = as_i64(b)
+        pos_a = np.empty(a.shape[0], dtype=np.int64)
+        pos_b = np.empty(b.shape[0], dtype=np.int64)
+        lib.pdtl_merge_positions(
+            ptr(a), a.shape[0], ptr(b), b.shape[0], wptr(pos_a), wptr(pos_b)
+        )
+        return pos_a, pos_b
+
+    def intersect_sorted(a, b):
+        from repro.core.kernels import NUMPY_IMPLS
+
+        if not integer_kinds(a, b):
+            return NUMPY_IMPLS["intersect_sorted"](a, b)
+        a = as_i64(a)
+        b = as_i64(b)
+        out = np.empty(b.shape[0], dtype=np.int64)
+        n = lib.pdtl_intersect_sorted(ptr(a), a.shape[0], ptr(b), b.shape[0], wptr(out))
+        return out[: int(n)]
+
+    def triangle_range(indptr, indices, lo, hi, want_triples=False):
+        indptr = as_i64(indptr)
+        indices = as_i64(indices)
+        lo = int(lo)
+        hi = int(hi)
+        ops = ffi.new("int64_t *")
+        if not want_triples:
+            count = lib.pdtl_triangle_count(ptr(indptr), ptr(indices), lo, hi, ops)
+            return int(count), int(ops[0])
+        cap = int(lib.pdtl_triangle_gathered(ptr(indptr), ptr(indices), lo, hi))
+        cones = np.empty(cap, dtype=np.int64)
+        vs = np.empty(cap, dtype=np.int64)
+        ws = np.empty(cap, dtype=np.int64)
+        nhit = int(
+            lib.pdtl_triangle_list(
+                ptr(indptr), ptr(indices), lo, hi, wptr(cones), wptr(vs), wptr(ws), ops
+            )
+        )
+        return cones[:nhit], vs[:nhit], ws[:nhit], int(ops[0])
+
+    def count_cone_range(indptr, indices, lo, hi):
+        indptr = as_i64(indptr)
+        indices = as_i64(indices)
+        return int(lib.pdtl_count_cone_range(ptr(indptr), ptr(indices), int(lo), int(hi)))
+
+    def edge_intersections(indptr, indices, us, vs, per_edge=False):
+        indptr = as_i64(indptr)
+        indices = as_i64(indices)
+        us = as_i64(us)
+        vs = as_i64(vs)
+        ne = us.shape[0]
+        if per_edge:
+            out = np.zeros(ne, dtype=np.int64)
+            lib.pdtl_edge_intersections(
+                ptr(indptr), ptr(indices), ptr(us), ptr(vs), ne, wptr(out)
+            )
+            return out
+        total = lib.pdtl_edge_intersections(
+            ptr(indptr), ptr(indices), ptr(us), ptr(vs), ne, ffi.NULL
+        )
+        return int(total)
+
+    def mgt_block_scan(
+        block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees, want_triples
+    ):
+        block_adj = as_i64(block_adj)
+        block_offsets = as_i64(block_offsets)
+        edg = as_i64(edg)
+        win_offsets = as_i64(win_offsets)
+        win_degrees = as_i64(win_degrees)
+        nbv = block_offsets.shape[0] - 1
+        pairs = ffi.new("int64_t *")
+        total = ffi.new("int64_t *")
+        if not want_triples:
+            nhit = lib.pdtl_mgt_block_scan(
+                ptr(block_adj), ptr(block_offsets), nbv, ptr(edg),
+                int(vlow), int(vhigh), ptr(win_offsets), ptr(win_degrees),
+                0, ffi.NULL, ffi.NULL, ffi.NULL, pairs, total,
+            )
+            return int(pairs[0]), int(total[0]), int(nhit), None, None, None
+        lib.pdtl_mgt_block_bound(
+            ptr(block_adj), ptr(block_offsets), nbv, int(vlow), int(vhigh),
+            ptr(win_degrees), pairs, total,
+        )
+        cap = int(total[0])
+        cones = np.empty(cap, dtype=np.int64)
+        vs = np.empty(cap, dtype=np.int64)
+        ws = np.empty(cap, dtype=np.int64)
+        nhit = int(
+            lib.pdtl_mgt_block_scan(
+                ptr(block_adj), ptr(block_offsets), nbv, ptr(edg),
+                int(vlow), int(vhigh), ptr(win_offsets), ptr(win_degrees),
+                1, wptr(cones), wptr(vs), wptr(ws), pairs, total,
+            )
+        )
+        return int(pairs[0]), int(total[0]), nhit, cones[:nhit], vs[:nhit], ws[:nhit]
+
+    def edge_support_accumulate(edge_keys, us, vs, ws, num_vertices, support):
+        if support.dtype != np.int64 or not support.flags.c_contiguous:
+            raise TypeError("support must be a contiguous int64 array")
+        edge_keys = as_i64(edge_keys)
+        us = as_i64(us)
+        vs = as_i64(vs)
+        ws = as_i64(ws)
+        ok = lib.pdtl_edge_support_accumulate(
+            ptr(edge_keys), edge_keys.shape[0], int(num_vertices),
+            ptr(us), ptr(vs), ptr(ws), ws.shape[0], wptr(support),
+        )
+        return bool(ok)
+
+    def truss_peel_level(
+        k, alive, support, trussness, inc_ptr, inc_triangles, tri_edges_flat, tri_alive
+    ):
+        if alive.dtype != np.bool_ or tri_alive.dtype != np.bool_:
+            raise TypeError("alive masks must be bool arrays")
+        if support.dtype != np.int64 or trussness.dtype != np.int64:
+            raise TypeError("support/trussness must be int64 arrays")
+        inc_ptr = as_i64(inc_ptr)
+        inc_triangles = as_i64(inc_triangles)
+        tri_edges_flat = as_i64(tri_edges_flat)
+        m = alive.shape[0]
+        frontier = np.empty(m, dtype=np.int64)
+        in_touched = np.zeros(m, dtype=np.uint8)
+        rounds = ffi.new("int64_t *")
+        peeled = lib.pdtl_truss_peel_level(
+            int(k), bptr(alive), wptr(support), wptr(trussness),
+            ptr(inc_ptr), ptr(inc_triangles), ptr(tri_edges_flat), bptr(tri_alive),
+            m, wptr(frontier), bptr(in_touched), rounds,
+        )
+        return int(peeled), int(rounds[0])
+
+    def triangle_edge_ids(indptr, indices, keys, row_start, num_vertices, lo, hi):
+        indptr = as_i64(indptr)
+        indices = as_i64(indices)
+        keys = as_i64(keys)
+        row_start = as_i64(row_start)
+        cap = int(lib.pdtl_triangle_gathered(ptr(indptr), ptr(indices), int(lo), int(hi)))
+        slot_to_id = np.empty(indices.shape[0], dtype=np.int64)
+        out = np.empty(3 * cap, dtype=np.int64)
+        nhit = int(
+            lib.pdtl_triangle_edge_ids(
+                ptr(indptr), ptr(indices), ptr(keys), ptr(row_start),
+                int(num_vertices), int(lo), int(hi), wptr(slot_to_id), wptr(out),
+            )
+        )
+        return out[: 3 * nhit].reshape(nhit, 3)
+
+    def incidence_csr(flat_edges, num_edges):
+        flat_edges = as_i64(flat_edges)
+        m = int(num_edges)
+        nslots = flat_edges.shape[0]
+        inc_ptr = np.zeros(m + 1, dtype=np.int64)
+        inc_tri = np.empty(nslots, dtype=np.int64)
+        cursor = np.empty(m, dtype=np.int64)
+        if m:
+            lib.pdtl_incidence_csr(
+                ptr(flat_edges), nslots, m, wptr(inc_ptr), wptr(inc_tri), wptr(cursor)
+            )
+        return inc_ptr, inc_tri
+
+    return {
+        "sorted_membership": sorted_membership,
+        "merge_positions": merge_positions,
+        "intersect_sorted": intersect_sorted,
+        "triangle_range": triangle_range,
+        "count_cone_range": count_cone_range,
+        "edge_intersections": edge_intersections,
+        "mgt_block_scan": mgt_block_scan,
+        "edge_support_accumulate": edge_support_accumulate,
+        "truss_peel_level": truss_peel_level,
+        "triangle_edge_ids": triangle_edge_ids,
+        "incidence_csr": incidence_csr,
+    }

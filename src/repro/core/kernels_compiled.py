@@ -1,0 +1,646 @@
+"""Numba implementations of the hot kernels, bit-identical to numpy.
+
+Each kernel is the fused-loop rewrite of a numpy primitive from
+:mod:`repro.core.kernels` (or of a multi-pass caller chain: the MGT block
+scan, the edge-support accumulate, the truss peel level), decorated with
+``@njit(cache=True, nogil=True)`` when numba is importable and left as
+plain Python otherwise.  That identity-decorator fallback matters: the
+kernel *logic* stays importable and property-testable on machines without
+numba (:func:`build_python_registry`), so the CI leg that does install
+numba only has to prove the JIT agrees with the already-tested bodies.
+
+Semantics are pinned to :data:`repro.core.kernels.NUMPY_IMPLS` -- same
+counts, same emission order, same deterministic ``operations`` measure,
+check-before-mutate accumulation -- and enforced by the property suite in
+``tests/property/test_property_kernels_compiled.py`` plus the
+backend-equivalence matrix.  ``nogil=True`` lets the threads execution
+backend run kernels concurrently, matching the cffi tier (cffi releases
+the GIL around C calls).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+
+    def _jit(fn):
+        return numba.njit(cache=True, nogil=True)(fn)
+
+except ImportError:  # identity decorator: keep the bodies importable
+    NUMBA_AVAILABLE = False
+
+    def _jit(fn):
+        return fn
+
+
+@_jit
+def _lower_bound(a, n, key):
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@_jit
+def _upper_bound(a, n, key):
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] <= key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+@_jit
+def _isect_count(a, astart, na, b, bstart, nb):
+    # |{ j : b[j] in a }| over sorted slices, numpy membership semantics:
+    # duplicate queries each count, duplicate haystack entries count once
+    count = 0
+    if na == 0 or nb == 0:
+        return 0
+    if na > 32 * nb:
+        for j in range(nb):
+            key = b[bstart + j]
+            pos = _lower_bound(a[astart : astart + na], na, key)
+            if pos < na and a[astart + pos] == key:
+                count += 1
+        return count
+    if nb > 32 * na:
+        for i in range(na):
+            if i > 0 and a[astart + i] == a[astart + i - 1]:
+                continue
+            key = a[astart + i]
+            bs = b[bstart : bstart + nb]
+            count += _upper_bound(bs, nb, key) - _lower_bound(bs, nb, key)
+        return count
+    i = 0
+    j = 0
+    while i < na and j < nb:
+        av = a[astart + i]
+        bv = b[bstart + j]
+        if av < bv:
+            i += 1
+        elif av > bv:
+            j += 1
+        else:
+            count += 1
+            j += 1  # keep i: the next b may repeat this value
+    return count
+
+
+@_jit
+def _sorted_membership(haystack, queries):
+    nh = haystack.shape[0]
+    out = np.empty(queries.shape[0], dtype=np.bool_)
+    for i in range(queries.shape[0]):
+        pos = _lower_bound(haystack, nh, queries[i])
+        out[i] = pos < nh and haystack[pos] == queries[i]
+    return out
+
+
+@_jit
+def _merge_positions(a, b):
+    na = a.shape[0]
+    nb = b.shape[0]
+    pos_a = np.empty(na, dtype=np.int64)
+    pos_b = np.empty(nb, dtype=np.int64)
+    i = 0
+    j = 0
+    while i < na or j < nb:
+        if j >= nb or (i < na and a[i] <= b[j]):  # stable: ties keep a first
+            pos_a[i] = i + j
+            i += 1
+        else:
+            pos_b[j] = i + j
+            j += 1
+    return pos_a, pos_b
+
+
+@_jit
+def _intersect_sorted(a, b):
+    na = a.shape[0]
+    out = np.empty(b.shape[0], dtype=np.int64)
+    n = 0
+    i = 0
+    for j in range(b.shape[0]):
+        while i < na and a[i] < b[j]:
+            i += 1
+        if i >= na:
+            break
+        if a[i] == b[j]:
+            out[n] = b[j]
+            n += 1
+    return out[:n]
+
+
+@_jit
+def _count_cone_range(indptr, indices, lo, hi):
+    total = 0
+    for u in range(lo, hi):
+        ustart = indptr[u]
+        du = indptr[u + 1] - ustart
+        for p in range(du):
+            v = indices[ustart + p]
+            total += _isect_count(
+                indices, ustart, du, indices, indptr[v], indptr[v + 1] - indptr[v]
+            )
+    return total
+
+
+@_jit
+def _triangle_count(indptr, indices, lo, hi):
+    count = 0
+    gathered = 0
+    for u in range(lo, hi):
+        ustart = indptr[u]
+        du = indptr[u + 1] - ustart
+        for p in range(du):
+            v = indices[ustart + p]
+            dv = indptr[v + 1] - indptr[v]
+            gathered += dv
+            count += _isect_count(indices, ustart, du, indices, indptr[v], dv)
+    ops = (indptr[hi] - indptr[lo]) + gathered
+    return count, ops
+
+
+@_jit
+def _triangle_list(indptr, indices, lo, hi):
+    gathered = 0
+    for p in range(indptr[lo], indptr[hi]):
+        v = indices[p]
+        gathered += indptr[v + 1] - indptr[v]
+    cones = np.empty(gathered, dtype=np.int64)
+    vs = np.empty(gathered, dtype=np.int64)
+    ws = np.empty(gathered, dtype=np.int64)
+    nhit = 0
+    for u in range(lo, hi):
+        ustart = indptr[u]
+        du = indptr[u + 1] - ustart
+        for p in range(du):
+            v = indices[ustart + p]
+            vstart = indptr[v]
+            dv = indptr[v + 1] - vstart
+            if du > 32 * dv:
+                # lopsided pair (hub cone list): binary-search each w --
+                # emission order (ascending j) matches the merge loop
+                nu = indices[ustart : ustart + du]
+                for j in range(dv):
+                    w = indices[vstart + j]
+                    pos = _lower_bound(nu, du, w)
+                    if pos < du and nu[pos] == w:
+                        cones[nhit] = u
+                        vs[nhit] = v
+                        ws[nhit] = w
+                        nhit += 1
+            else:
+                i = 0
+                for j in range(dv):
+                    w = indices[vstart + j]
+                    while i < du and indices[ustart + i] < w:
+                        i += 1
+                    if i >= du:
+                        break
+                    if indices[ustart + i] == w:
+                        cones[nhit] = u
+                        vs[nhit] = v
+                        ws[nhit] = w
+                        nhit += 1
+    ops = (indptr[hi] - indptr[lo]) + gathered
+    return cones[:nhit], vs[:nhit], ws[:nhit], ops
+
+
+@_jit
+def _edge_intersections(indptr, indices, us, vs, per_edge):
+    ne = us.shape[0]
+    counts = np.zeros(ne if per_edge else 0, dtype=np.int64)
+    total = 0
+    for e in range(ne):
+        u = us[e]
+        v = vs[e]
+        c = _isect_count(
+            indices,
+            indptr[u],
+            indptr[u + 1] - indptr[u],
+            indices,
+            indptr[v],
+            indptr[v + 1] - indptr[v],
+        )
+        if per_edge:
+            counts[e] = c
+        total += c
+    return total, counts
+
+
+@_jit
+def _mgt_block_count(block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees):
+    nbv = block_offsets.shape[0] - 1
+    pairs = 0
+    total = 0
+    hits = 0
+    for bu in range(nbv):
+        ustart = block_offsets[bu]
+        du = block_offsets[bu + 1] - ustart
+        for p in range(du):
+            v = block_adj[ustart + p]
+            if v < vlow or v > vhigh:
+                continue
+            d = win_degrees[v - vlow]
+            if d <= 0:
+                continue
+            pairs += 1
+            total += d
+            hits += _isect_count(block_adj, ustart, du, edg, win_offsets[v - vlow], d)
+    return pairs, total, hits
+
+
+@_jit
+def _mgt_block_list(block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees):
+    nbv = block_offsets.shape[0] - 1
+    pairs = 0
+    total = 0
+    for p in range(block_offsets[0], block_offsets[nbv]):
+        v = block_adj[p]
+        if v >= vlow and v <= vhigh and win_degrees[v - vlow] > 0:
+            pairs += 1
+            total += win_degrees[v - vlow]
+    cones = np.empty(total, dtype=np.int64)
+    vso = np.empty(total, dtype=np.int64)
+    wso = np.empty(total, dtype=np.int64)
+    nhit = 0
+    for bu in range(nbv):
+        ustart = block_offsets[bu]
+        du = block_offsets[bu + 1] - ustart
+        for p in range(du):
+            v = block_adj[ustart + p]
+            if v < vlow or v > vhigh:
+                continue
+            d = win_degrees[v - vlow]
+            if d <= 0:
+                continue
+            estart = win_offsets[v - vlow]
+            if du > 32 * d:
+                nu = block_adj[ustart : ustart + du]
+                for j in range(d):
+                    w = edg[estart + j]
+                    pos = _lower_bound(nu, du, w)
+                    if pos < du and nu[pos] == w:
+                        cones[nhit] = bu
+                        vso[nhit] = v
+                        wso[nhit] = w
+                        nhit += 1
+            else:
+                i = 0
+                for j in range(d):
+                    w = edg[estart + j]
+                    while i < du and block_adj[ustart + i] < w:
+                        i += 1
+                    if i >= du:
+                        break
+                    if block_adj[ustart + i] == w:
+                        cones[nhit] = bu
+                        vso[nhit] = v
+                        wso[nhit] = w
+                        nhit += 1
+    return pairs, total, cones[:nhit], vso[:nhit], wso[:nhit]
+
+
+@_jit
+def _edge_support_accumulate(edge_keys, nvert, us, vs, ws, support):
+    m = edge_keys.shape[0]
+    for i in range(ws.shape[0]):
+        for sl in range(3):
+            if sl == 0:
+                key = us[i] * nvert + vs[i]
+            elif sl == 1:
+                key = us[i] * nvert + ws[i]
+            else:
+                key = vs[i] * nvert + ws[i]
+            pos = _lower_bound(edge_keys, m, key)
+            if pos >= m or edge_keys[pos] != key:
+                # bad pair: undo every increment already applied so the
+                # caller can raise with the sink untouched
+                for ri in range(i + 1):
+                    rmax = sl if ri == i else 3
+                    for rsl in range(rmax):
+                        if rsl == 0:
+                            rkey = us[ri] * nvert + vs[ri]
+                        elif rsl == 1:
+                            rkey = us[ri] * nvert + ws[ri]
+                        else:
+                            rkey = vs[ri] * nvert + ws[ri]
+                        support[_lower_bound(edge_keys, m, rkey)] -= 1
+                return 0
+            support[pos] += 1
+    return 1
+
+
+@_jit
+def _truss_peel_level(
+    k, alive, support, trussness, inc_ptr, inc_triangles, tri_edges_flat, tri_alive
+):
+    m = alive.shape[0]
+    frontier = np.empty(m, dtype=np.int64)
+    in_touched = np.zeros(m, dtype=np.bool_)
+    rounds = 0
+    peeled = 0
+    thresh = k - 2
+    # round 1: full scan.  Later rounds draw their frontier from the edges
+    # whose support was decremented this round (the touched set, staged at
+    # frontier[nf:]) -- an edge can newly cross the threshold only by
+    # losing support, so the frontier sets, the round count and every
+    # output array are identical to rescanning all m edges.
+    nf = 0
+    for e in range(m):
+        if alive[e] and support[e] <= thresh:
+            frontier[nf] = e
+            nf += 1
+    while nf > 0:
+        nt = 0
+        rounds += 1
+        for f in range(nf):
+            alive[frontier[f]] = False
+            trussness[frontier[f]] = k
+        peeled += nf
+        for f in range(nf):
+            e = frontier[f]
+            for q in range(inc_ptr[e], inc_ptr[e + 1]):
+                tri = inc_triangles[q]
+                if not tri_alive[tri]:
+                    continue
+                tri_alive[tri] = False
+                for sl in range(3):
+                    te = tri_edges_flat[3 * tri + sl]
+                    if alive[te]:
+                        support[te] -= 1
+                        if not in_touched[te]:
+                            in_touched[te] = True
+                            frontier[nf + nt] = te
+                            nt += 1
+        # dead frontier and alive touched edges are disjoint, so
+        # nf + nt <= m; compacting the next frontier to the front trails
+        # the reads (nf >= 1) and never overwrites them
+        start = nf
+        nf = 0
+        for i in range(nt):
+            te = frontier[start + i]
+            in_touched[te] = False
+            if alive[te] and support[te] <= thresh:
+                frontier[nf] = te
+                nf += 1
+    return peeled, rounds
+
+
+@_jit
+def _triangle_edge_ids(indptr, indices, keys, row_start, n, lo, hi):
+    # the triangle_list enumeration (same traversal, same emission order)
+    # fused with the edge-id mapping.  First every oriented adjacency slot
+    # is mapped to its canonical edge id: the pair is canonicalised to
+    # (min, max), packed into min*n+max and looked up with
+    # np.searchsorted's lower bound, confined to the source row
+    # [row_start[x], row_start[x+1]) (which brackets every key of row x,
+    # so the position equals the global searchsorted result).  The
+    # enumeration then emits each hit's three ids by direct slot lookup --
+    # (u,v) at the scanned slot, (u,w) at the matched position in N(u),
+    # (v,w) at the gathered slot -- with no per-triangle searching at all.
+    slot_to_id = np.empty(indices.shape[0], dtype=np.int64)
+    for u in range(n):
+        for p in range(indptr[u], indptr[u + 1]):
+            v = indices[p]
+            x = u if u < v else v
+            y = v if u < v else u
+            rs = row_start[x]
+            row = keys[rs : row_start[x + 1]]
+            slot_to_id[p] = rs + _lower_bound(row, row.shape[0], x * n + y)
+    gathered = 0
+    for p in range(indptr[lo], indptr[hi]):
+        v = indices[p]
+        gathered += indptr[v + 1] - indptr[v]
+    out = np.empty((gathered, 3), dtype=np.int64)
+    nhit = 0
+    for u in range(lo, hi):
+        ustart = indptr[u]
+        du = indptr[u + 1] - ustart
+        for p in range(du):
+            v = indices[ustart + p]
+            vstart = indptr[v]
+            dv = indptr[v + 1] - vstart
+            uv = slot_to_id[ustart + p]
+            if du > 32 * dv:
+                nu = indices[ustart : ustart + du]
+                for j in range(dv):
+                    w = indices[vstart + j]
+                    pos = _lower_bound(nu, du, w)
+                    if pos < du and nu[pos] == w:
+                        out[nhit, 0] = uv
+                        out[nhit, 1] = slot_to_id[ustart + pos]
+                        out[nhit, 2] = slot_to_id[vstart + j]
+                        nhit += 1
+            else:
+                i = 0
+                for j in range(dv):
+                    w = indices[vstart + j]
+                    while i < du and indices[ustart + i] < w:
+                        i += 1
+                    if i >= du:
+                        break
+                    if indices[ustart + i] == w:
+                        out[nhit, 0] = uv
+                        out[nhit, 1] = slot_to_id[ustart + i]
+                        out[nhit, 2] = slot_to_id[vstart + j]
+                        nhit += 1
+    return out[:nhit]
+
+
+@_jit
+def _incidence_csr(flat, m):
+    # edge -> incident-triangle CSR by stable counting sort of the 3T
+    # slots: visiting slots in index order appends each to its edge's
+    # bucket, exactly np.argsort(flat, kind="stable") // 3
+    nslots = flat.shape[0]
+    inc_ptr = np.zeros(m + 1, dtype=np.int64)
+    for s in range(nslots):
+        inc_ptr[flat[s] + 1] += 1
+    for e in range(m):
+        inc_ptr[e + 1] += inc_ptr[e]
+    cursor = inc_ptr[:m].copy()
+    inc_tri = np.empty(nslots, dtype=np.int64)
+    for s in range(nslots):
+        e = flat[s]
+        inc_tri[cursor[e]] = s // 3
+        cursor[e] += 1
+    return inc_ptr, inc_tri
+
+
+#: The (possibly jitted) kernel bodies, by the name the wrappers use.
+_RAW: dict[str, Callable] = {
+    "sorted_membership": _sorted_membership,
+    "merge_positions": _merge_positions,
+    "intersect_sorted": _intersect_sorted,
+    "count_cone_range": _count_cone_range,
+    "triangle_count": _triangle_count,
+    "triangle_list": _triangle_list,
+    "edge_intersections": _edge_intersections,
+    "mgt_block_count": _mgt_block_count,
+    "mgt_block_list": _mgt_block_list,
+    "edge_support_accumulate": _edge_support_accumulate,
+    "truss_peel_level": _truss_peel_level,
+    "triangle_edge_ids": _triangle_edge_ids,
+    "incidence_csr": _incidence_csr,
+}
+
+
+def _make_registry(raw: dict[str, Callable]) -> dict[str, Callable]:
+    """Wrap kernel bodies with the coercion/interface layer of the registry."""
+
+    def as_i64(arr: np.ndarray) -> np.ndarray:
+        a = np.asarray(arr)
+        if a.dtype != np.int64:
+            a = a.astype(np.int64)
+        elif not a.flags.c_contiguous:
+            a = np.ascontiguousarray(a)
+        return a
+
+    def integer_kinds(*arrays) -> bool:
+        return all(np.asarray(a).dtype.kind in "iu" for a in arrays)
+
+    def sorted_membership(haystack, queries):
+        from repro.core.kernels import NUMPY_IMPLS
+
+        if not integer_kinds(haystack, queries):
+            return NUMPY_IMPLS["sorted_membership"](haystack, queries)
+        return raw["sorted_membership"](as_i64(haystack), as_i64(queries))
+
+    def merge_positions(a, b):
+        from repro.core.kernels import NUMPY_IMPLS
+
+        if not integer_kinds(a, b):
+            return NUMPY_IMPLS["merge_positions"](a, b)
+        return raw["merge_positions"](as_i64(a), as_i64(b))
+
+    def intersect_sorted(a, b):
+        from repro.core.kernels import NUMPY_IMPLS
+
+        if not integer_kinds(a, b):
+            return NUMPY_IMPLS["intersect_sorted"](a, b)
+        return raw["intersect_sorted"](as_i64(a), as_i64(b))
+
+    def triangle_range(indptr, indices, lo, hi, want_triples=False):
+        indptr = as_i64(indptr)
+        indices = as_i64(indices)
+        if want_triples:
+            cones, vs, ws, ops = raw["triangle_list"](indptr, indices, int(lo), int(hi))
+            return cones, vs, ws, int(ops)
+        count, ops = raw["triangle_count"](indptr, indices, int(lo), int(hi))
+        return int(count), int(ops)
+
+    def count_cone_range(indptr, indices, lo, hi):
+        return int(raw["count_cone_range"](as_i64(indptr), as_i64(indices), int(lo), int(hi)))
+
+    def edge_intersections(indptr, indices, us, vs, per_edge=False):
+        total, counts = raw["edge_intersections"](
+            as_i64(indptr), as_i64(indices), as_i64(us), as_i64(vs), bool(per_edge)
+        )
+        if per_edge:
+            return counts
+        return int(total)
+
+    def mgt_block_scan(
+        block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees, want_triples
+    ):
+        block_adj = as_i64(block_adj)
+        block_offsets = as_i64(block_offsets)
+        edg = as_i64(edg)
+        win_offsets = as_i64(win_offsets)
+        win_degrees = as_i64(win_degrees)
+        if want_triples:
+            pairs, total, cones, vs, ws = raw["mgt_block_list"](
+                block_adj, block_offsets, edg, int(vlow), int(vhigh),
+                win_offsets, win_degrees,
+            )
+            return int(pairs), int(total), int(cones.shape[0]), cones, vs, ws
+        pairs, total, hits = raw["mgt_block_count"](
+            block_adj, block_offsets, edg, int(vlow), int(vhigh),
+            win_offsets, win_degrees,
+        )
+        return int(pairs), int(total), int(hits), None, None, None
+
+    def edge_support_accumulate(edge_keys, us, vs, ws, num_vertices, support):
+        if support.dtype != np.int64 or not support.flags.c_contiguous:
+            raise TypeError("support must be a contiguous int64 array")
+        ok = raw["edge_support_accumulate"](
+            as_i64(edge_keys), np.int64(num_vertices),
+            as_i64(us), as_i64(vs), as_i64(ws), support,
+        )
+        return bool(ok)
+
+    def truss_peel_level(
+        k, alive, support, trussness, inc_ptr, inc_triangles, tri_edges_flat, tri_alive
+    ):
+        if alive.dtype != np.bool_ or tri_alive.dtype != np.bool_:
+            raise TypeError("alive masks must be bool arrays")
+        if support.dtype != np.int64 or trussness.dtype != np.int64:
+            raise TypeError("support/trussness must be int64 arrays")
+        peeled, rounds = raw["truss_peel_level"](
+            int(k), alive, support, trussness,
+            as_i64(inc_ptr), as_i64(inc_triangles), as_i64(tri_edges_flat), tri_alive,
+        )
+        return int(peeled), int(rounds)
+
+    def triangle_edge_ids(indptr, indices, keys, row_start, num_vertices, lo, hi):
+        return raw["triangle_edge_ids"](
+            as_i64(indptr), as_i64(indices), as_i64(keys), as_i64(row_start),
+            np.int64(num_vertices), np.int64(lo), np.int64(hi),
+        )
+
+    def incidence_csr(flat_edges, num_edges):
+        return raw["incidence_csr"](as_i64(flat_edges), np.int64(num_edges))
+
+    return {
+        "sorted_membership": sorted_membership,
+        "merge_positions": merge_positions,
+        "intersect_sorted": intersect_sorted,
+        "triangle_range": triangle_range,
+        "count_cone_range": count_cone_range,
+        "edge_intersections": edge_intersections,
+        "mgt_block_scan": mgt_block_scan,
+        "edge_support_accumulate": edge_support_accumulate,
+        "truss_peel_level": truss_peel_level,
+        "triangle_edge_ids": triangle_edge_ids,
+        "incidence_csr": incidence_csr,
+    }
+
+
+def build_registry() -> dict[str, Callable]:
+    """JIT-compiled registry for :func:`repro.core.kernel_backend.activate`.
+
+    Raises when numba is not installed; the dispatch layer treats that as
+    "backend unavailable" and falls back (``pip install .[compiled]``
+    pulls numba in).
+    """
+    if not NUMBA_AVAILABLE:
+        raise RuntimeError("numba is not installed (pip install repro[compiled])")
+    return _make_registry(_RAW)
+
+
+def build_python_registry() -> dict[str, Callable]:
+    """The same registry bound to the pure-Python kernel bodies.
+
+    Always available; used by the property suite to test the numba kernel
+    *logic* against the numpy twins even on machines without numba.
+    """
+    plain = {name: getattr(fn, "py_func", fn) for name, fn in _RAW.items()}
+    return _make_registry(plain)

@@ -33,7 +33,7 @@ import time
 
 import numpy as np
 
-from repro.core import kernels
+from repro.core import kernel_backend, kernels
 from repro.core.config import PDTLConfig
 from repro.core.triangles import CountingSink, TriangleSink
 from repro.errors import ConfigurationError
@@ -115,6 +115,10 @@ class MGTWorker:
             else oriented
         )
         self.config = config
+        # apply the kernel-tier knob here rather than in the runner: worker
+        # processes construct their MGTWorker from the pickled config, so
+        # this is the one seam every execution backend passes through
+        kernel_backend.ensure(config.kernel_backend)
         self.range_start = int(range_start)
         self.range_stop = int(range_stop if range_stop is not None else oriented.num_edges)
         if not 0 <= self.range_start <= self.range_stop <= oriented.num_edges:
@@ -365,6 +369,33 @@ class MGTWorker:
         if block_adj.shape[0] == 0:
             return 0, 0
         scanned = int(block_adj.shape[0])
+
+        # compiled tier: the whole 3-step chain below runs as one fused loop
+        # over the block's adjacency entries -- no candidate mask, no gathered
+        # E_v array, no packed keys.  Emission order, pair count and the
+        # scanned + gathered operation count are identical by contract.
+        fused_scan = kernel_backend.fused("mgt_block_scan")
+        if fused_scan is not None:
+            count_only = type(sink) is CountingSink
+            num_pairs, total, hits, cones_rel, pivots_v, pivots_w = fused_scan(
+                block_adj,
+                block_offsets,
+                edg,
+                vlow,
+                vhigh,
+                win_offsets,
+                win_degrees,
+                not count_only,
+            )
+            if hits:
+                if count_only:
+                    sink.count += hits
+                else:
+                    sink.add_triples(
+                        cones_rel + np.int64(first_vertex), pivots_v, pivots_w
+                    )
+            return num_pairs, scanned + total
+
         num_block_vertices = block_offsets.shape[0] - 1
 
         # step 1: candidate (u, v) pairs

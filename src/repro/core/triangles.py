@@ -549,6 +549,29 @@ class EdgeSupportSink:
         n = int(ws.shape[0])
         if n == 0:
             return
+        if self.support is not None:
+            # compiled tier, dense mode only: resolve all three edge positions
+            # and accumulate in one fused loop (no concatenated key arrays,
+            # no np.add.at scatter).  A triple referencing a missing edge
+            # rolls back its partial increments before we raise, preserving
+            # the numpy path's check-before-mutate contract.  Spill mode
+            # keeps the numpy path: its run contents are position *streams*,
+            # not commutative sums.
+            from repro.core import kernel_backend
+
+            fused_accumulate = kernel_backend.fused("edge_support_accumulate")
+            if (
+                fused_accumulate is not None
+                and self.num_vertices <= kernels.MAX_PACKABLE_VERTICES
+            ):
+                if not fused_accumulate(
+                    self.edge_keys, us, vs, ws, self.num_vertices, self.support
+                ):
+                    raise ValueError(
+                        "triangle references a pair that is not an oriented edge"
+                    )
+                self.count += n
+                return
         sources = np.concatenate((us, us, vs))
         destinations = np.concatenate((vs, ws, ws))
         self._record(self._positions(sources, destinations))

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.inmemory import forward_count, forward_list
+from repro.core import kernel_backend
 from repro.core.config import PDTLConfig
 from repro.core.pdtl import PDTLRunner
 from repro.core.shm import shm_available
@@ -33,6 +34,7 @@ BACKENDS = (
 )
 
 _SHM_OK, _SHM_REASON = shm_available()
+_COMPILED_OK, _COMPILED_TIER = kernel_backend.compiled_available()
 
 
 @pytest.fixture(scope="module")
@@ -218,6 +220,88 @@ class TestDynamicMatchesStatic:
             np.testing.assert_array_equal(
                 injected.edge_supports, reference.edge_supports, err_msg=label
             )
+
+
+@pytest.mark.skipif(not _COMPILED_OK, reason=f"no compiled backend: {_COMPILED_TIER}")
+class TestCompiledTierEquivalence:
+    """The compiled kernel tier is a host concern strictly below the
+    accounting layer: with it on or off, every modelled quantity, count,
+    listing order and support array must be bit-identical -- on all four
+    execution backends, with and without failure/straggler/jitter
+    injection.  The tier is applied on both sides of the seam: the master
+    via ``kernel_backend.use`` and the workers via the pickled config's
+    ``kernel_backend`` knob."""
+
+    def _run_tier(self, graph, tier, backend, shm, scheduling="dynamic", **kwargs):
+        with kernel_backend.use(tier):
+            return _run(graph, scheduling, backend, shm, kernel_backend=tier, **kwargs)
+
+    @pytest.mark.parametrize("scheduling", ("static", "dynamic"))
+    def test_counts_and_modelled_times_identical(self, graph, expected, scheduling):
+        for label, backend, shm in _backends():
+            plain = self._run_tier(graph, "numpy", backend, shm, scheduling)
+            compiled = self._run_tier(graph, _COMPILED_TIER, backend, shm, scheduling)
+            assert compiled.triangles == plain.triangles == expected, label
+            assert compiled.calc_seconds == plain.calc_seconds, label
+            assert compiled.total_io_seconds == plain.total_io_seconds, label
+            assert compiled.total_cpu_seconds == plain.total_cpu_seconds, label
+            for ours, theirs in zip(compiled.workers, plain.workers):
+                assert (
+                    ours.result.io_stats.as_dict() == theirs.result.io_stats.as_dict()
+                ), label
+
+    def test_listing_order_identical(self, graph):
+        for label, backend, shm in _backends():
+            plain = self._run_tier(
+                graph, "numpy", backend, shm, sink_kind="list", count_only=False
+            )
+            compiled = self._run_tier(
+                graph,
+                _COMPILED_TIER,
+                backend,
+                shm,
+                sink_kind="list",
+                count_only=False,
+            )
+            assert [tuple(t) for t in compiled.triangle_list] == [
+                tuple(t) for t in plain.triangle_list
+            ], label
+
+    def test_edge_supports_identical_under_injection(self, graph, expected):
+        injection = dict(
+            failure_spec={0: 1, 2: 0},
+            straggler_spec={1: 4.0},
+            host_jitter_seconds=0.005,
+        )
+        for label, backend, shm in _backends():
+            plain = self._run_tier(
+                graph, "numpy", backend, shm, sink_kind="edge-support", **injection
+            )
+            compiled = self._run_tier(
+                graph,
+                _COMPILED_TIER,
+                backend,
+                shm,
+                sink_kind="edge-support",
+                **injection,
+            )
+            assert compiled.triangles == plain.triangles == expected, label
+            assert compiled.metrics.total_chunks_retried >= 1, label
+            np.testing.assert_array_equal(
+                compiled.edge_supports, plain.edge_supports, err_msg=label
+            )
+            assert compiled.calc_seconds == plain.calc_seconds, label
+
+    def test_per_vertex_counts_identical(self, graph, expected):
+        for label, backend, shm in _backends():
+            plain = self._run_tier(graph, "numpy", backend, shm, sink_kind="per-vertex")
+            compiled = self._run_tier(
+                graph, _COMPILED_TIER, backend, shm, sink_kind="per-vertex"
+            )
+            np.testing.assert_array_equal(
+                compiled.per_vertex_counts, plain.per_vertex_counts, err_msg=label
+            )
+            assert int(compiled.per_vertex_counts.sum()) == 3 * expected, label
 
 
 class TestMmapReadsEquivalence:

@@ -11,6 +11,7 @@ from repro.baselines.reference_impl import (
 )
 from repro.core import kernels
 from repro.core.orientation import orient_csr
+from repro.errors import PDTLError
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import power_law_degree_graph, rmat
 
@@ -40,6 +41,28 @@ class TestPackedKeys:
         keys = kernels.csr_packed_keys(oriented.indptr, oriented.indices)
         np.testing.assert_array_equal(keys % n, oriented.indices)
         np.testing.assert_array_equal(keys // n, oriented.edge_sources())
+
+    def test_overflow_boundary(self):
+        """``num_vertices`` beyond the int64 packing limit must raise, not wrap.
+
+        At ``n = MAX_PACKABLE_VERTICES`` the largest key ``n**2 - 1`` still
+        fits int64 and the packing stays monotone; at ``n + 1`` the products
+        would silently wrap negative and break every sorted-key membership
+        test built on them.
+        """
+        n = kernels.MAX_PACKABLE_VERTICES
+        assert n * n - 1 <= np.iinfo(np.int64).max
+        assert (n + 1) * (n + 1) - 1 > np.iinfo(np.int64).max
+        top = np.array([n - 1], dtype=np.int64)
+        keys = kernels.packed_keys(top, top, n)
+        assert keys[0] == n * n - 1  # the extreme key, computed without wrap
+        with pytest.raises(PDTLError, match="num_vertices"):
+            kernels.packed_keys(top, top, n + 1)
+
+    def test_overflow_message_names_the_limit(self):
+        indices = np.array([0], dtype=np.int64)
+        with pytest.raises(PDTLError, match=str(kernels.MAX_PACKABLE_VERTICES)):
+            kernels.packed_keys(indices, indices, kernels.MAX_PACKABLE_VERTICES + 12345)
 
 
 class TestSortedMembership:

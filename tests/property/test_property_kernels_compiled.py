@@ -1,0 +1,376 @@
+"""Property tests: every compiled kernel against its numpy twin.
+
+Each available compiled registry is driven through the adversarial input
+families the extsort fallback work (PR 5) established as the danger zone:
+empty arrays, single elements, duplicate-heavy values and negative ids --
+plus random graphs for the structural kernels.  Three registries can be
+under test:
+
+* ``python`` -- the numba kernel *bodies* run as plain Python
+  (:func:`repro.core.kernels_compiled.build_python_registry`); always
+  available, so the numba logic is exercised even where numba is not
+  installed;
+* ``cffi`` -- the C implementations, where a compiler is present;
+* ``numba`` -- the JIT-compiled registry, where numba is installed (the
+  CI ``compiled`` leg).
+
+The fused entry points (``mgt_block_scan``, ``edge_support_accumulate``,
+``truss_peel_level``, ``triangle_edge_ids``, ``incidence_csr``) have no
+single numpy twin -- they replace multi-pass
+caller chains -- so they are checked against in-test references built from
+the numpy primitives, and end-to-end by installing the registry and
+comparing whole decompositions.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analytics.truss import truss_decomposition
+from repro.core import kernels, kernels_compiled
+from repro.core.orientation import orient_csr
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _available_registries() -> list[tuple[str, dict]]:
+    registries = [("python", kernels_compiled.build_python_registry())]
+    try:
+        from repro.core import kernels_cffi
+
+        registries.append(("cffi", kernels_cffi.build_registry()))
+    except Exception:  # noqa: BLE001 - no C toolchain: cffi leg skipped
+        pass
+    if kernels_compiled.NUMBA_AVAILABLE:
+        registries.append(("numba", kernels_compiled.build_registry()))
+    return registries
+
+
+REGISTRIES = _available_registries()
+REGISTRY_PARAMS = pytest.mark.parametrize(
+    "registry", [r for _, r in REGISTRIES], ids=[name for name, _ in REGISTRIES]
+)
+
+
+@contextmanager
+def installed(registry: dict):
+    """Install a registry as the active tier, bypassing backend probing."""
+    saved_impls = dict(kernels._ACTIVE_IMPLS)
+    saved_ready = kernels._BACKEND_READY
+    kernels._ACTIVE_IMPLS.clear()
+    kernels._ACTIVE_IMPLS.update(registry)
+    kernels._BACKEND_READY = True
+    try:
+        yield
+    finally:
+        kernels._ACTIVE_IMPLS.clear()
+        kernels._ACTIVE_IMPLS.update(saved_impls)
+        kernels._BACKEND_READY = saved_ready
+
+
+# -- input families ---------------------------------------------------------
+
+#: wide domain with negatives (id arithmetic), or a tiny domain so that
+#: duplicates dominate -- both sides of the adversarial family
+_values = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.integers(min_value=-3, max_value=3),
+)
+
+
+def _sorted_arrays(max_size: int = 60):
+    return st.lists(_values, min_size=0, max_size=max_size).map(
+        lambda xs: np.sort(np.asarray(xs, dtype=np.int64))
+    )
+
+
+def _plain_arrays(max_size: int = 60):
+    return st.lists(_values, min_size=0, max_size=max_size).map(
+        lambda xs: np.asarray(xs, dtype=np.int64)
+    )
+
+
+@st.composite
+def random_graphs(draw, max_vertices: int = 24, max_edges: int = 90):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    max_possible = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_edges, max_possible)))
+    if m == 0:
+        return CSRGraph.empty(n)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    chosen = rng.choice(iu.shape[0], size=min(m, iu.shape[0]), replace=False)
+    edges = np.stack([iu[chosen], iv[chosen]], axis=1)
+    return CSRGraph.from_edgelist(EdgeList(edges, n))
+
+
+# -- primitives vs their numpy twins ----------------------------------------
+
+
+@REGISTRY_PARAMS
+@given(haystack=_sorted_arrays(), queries=_plain_arrays())
+@settings(**SETTINGS)
+def test_sorted_membership_matches_numpy(registry, haystack, queries):
+    want = kernels.NUMPY_IMPLS["sorted_membership"](haystack, queries)
+    got = registry["sorted_membership"](haystack, queries)
+    np.testing.assert_array_equal(got, want)
+
+
+@REGISTRY_PARAMS
+@given(a=_sorted_arrays(), b=_sorted_arrays())
+@settings(**SETTINGS)
+def test_merge_positions_matches_numpy(registry, a, b):
+    want_a, want_b = kernels.NUMPY_IMPLS["merge_positions"](a, b)
+    got_a, got_b = registry["merge_positions"](a, b)
+    np.testing.assert_array_equal(got_a, want_a)
+    np.testing.assert_array_equal(got_b, want_b)
+    # and the positions actually describe a stable merge
+    merged = np.empty(a.shape[0] + b.shape[0], dtype=np.int64)
+    merged[np.asarray(got_a, dtype=np.int64)] = a
+    merged[np.asarray(got_b, dtype=np.int64)] = b
+    np.testing.assert_array_equal(merged, np.sort(np.concatenate((a, b))))
+
+
+@REGISTRY_PARAMS
+@given(a=_sorted_arrays(), b=_sorted_arrays())
+@settings(**SETTINGS)
+def test_intersect_sorted_matches_numpy(registry, a, b):
+    want = kernels.NUMPY_IMPLS["intersect_sorted"](a, b)
+    got = registry["intersect_sorted"](a, b)
+    np.testing.assert_array_equal(got, want)
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs(), data=st.data())
+@settings(**SETTINGS)
+def test_triangle_range_matches_numpy(registry, graph, data):
+    oriented = orient_csr(graph)
+    n = oriented.num_vertices
+    lo = data.draw(st.integers(min_value=0, max_value=n))
+    hi = data.draw(st.integers(min_value=lo, max_value=n))
+    want = kernels.NUMPY_IMPLS["triangle_range"](
+        oriented.indptr, oriented.indices, lo, hi, True
+    )
+    got = registry["triangle_range"](oriented.indptr, oriented.indices, lo, hi, True)
+    for w, g in zip(want, got):
+        np.testing.assert_array_equal(np.asarray(g), np.asarray(w))
+    want_count, want_ops = kernels.NUMPY_IMPLS["triangle_range"](
+        oriented.indptr, oriented.indices, lo, hi, False
+    )
+    got_count, got_ops = registry["triangle_range"](
+        oriented.indptr, oriented.indices, lo, hi, False
+    )
+    assert (got_count, got_ops) == (want_count, want_ops)
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_count_cone_range_matches_numpy(registry, graph):
+    oriented = orient_csr(graph)
+    n = oriented.num_vertices
+    want = kernels.NUMPY_IMPLS["count_cone_range"](
+        oriented.indptr, oriented.indices, 0, n, kernels.DEFAULT_BATCH_ENTRIES
+    )
+    got = registry["count_cone_range"](oriented.indptr, oriented.indices, 0, n)
+    assert got == want
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs(), data=st.data())
+@settings(**SETTINGS)
+def test_edge_intersections_matches_numpy(registry, graph, data):
+    n = graph.num_vertices
+    ne = data.draw(st.integers(min_value=0, max_value=12))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    us = rng.integers(0, n, size=ne, dtype=np.int64)
+    vs = rng.integers(0, n, size=ne, dtype=np.int64)
+    want = kernels.NUMPY_IMPLS["edge_intersections"](
+        graph.indptr, graph.indices, us, vs, None, True
+    )
+    got = registry["edge_intersections"](graph.indptr, graph.indices, us, vs, True)
+    np.testing.assert_array_equal(np.asarray(got), np.asarray(want))
+    assert registry["edge_intersections"](
+        graph.indptr, graph.indices, us, vs, False
+    ) == int(np.sum(want))
+
+
+# -- fused kernels vs in-test references ------------------------------------
+
+
+def _mgt_block_scan_reference(
+    block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees
+):
+    """The 3-pass chain of ``MGTWorker._process_block``, one entry at a time."""
+    pairs = 0
+    total = 0
+    cones, vs_out, ws_out = [], [], []
+    for bu in range(block_offsets.shape[0] - 1):
+        nu = block_adj[block_offsets[bu] : block_offsets[bu + 1]]
+        for v in nu:
+            if v < vlow or v > vhigh:
+                continue
+            d = int(win_degrees[v - vlow])
+            if d <= 0:
+                continue
+            pairs += 1
+            total += d
+            ev = edg[win_offsets[v - vlow] : win_offsets[v - vlow] + d]
+            for w in ev[np.isin(ev, nu)]:
+                cones.append(bu)
+                vs_out.append(int(v))
+                ws_out.append(int(w))
+    return pairs, total, cones, vs_out, ws_out
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs(), data=st.data())
+@settings(**SETTINGS)
+def test_mgt_block_scan_matches_reference(registry, graph, data):
+    oriented = orient_csr(graph)
+    n = oriented.num_vertices
+    blo = data.draw(st.integers(min_value=0, max_value=n))
+    bhi = data.draw(st.integers(min_value=blo, max_value=n))
+    vlow = data.draw(st.integers(min_value=0, max_value=n - 1))
+    vhigh = data.draw(st.integers(min_value=vlow, max_value=n - 1))
+    indptr, indices = oriented.indptr, oriented.indices
+    block_adj = indices[indptr[blo] : indptr[bhi]].copy()
+    block_offsets = (indptr[blo : bhi + 1] - indptr[blo]).astype(np.int64)
+    edg = indices[indptr[vlow] : indptr[vhigh + 1]].copy()
+    win_offsets = (indptr[vlow : vhigh + 1] - indptr[vlow]).astype(np.int64)
+    win_degrees = np.diff(indptr[vlow : vhigh + 2]).astype(np.int64)
+
+    pairs, total, cones, vs_ref, ws_ref = _mgt_block_scan_reference(
+        block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees
+    )
+    got = registry["mgt_block_scan"](
+        block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees, True
+    )
+    assert (got[0], got[1], got[2]) == (pairs, total, len(cones))
+    np.testing.assert_array_equal(np.asarray(got[3]), np.asarray(cones, dtype=np.int64))
+    np.testing.assert_array_equal(np.asarray(got[4]), np.asarray(vs_ref, dtype=np.int64))
+    np.testing.assert_array_equal(np.asarray(got[5]), np.asarray(ws_ref, dtype=np.int64))
+
+    counted = registry["mgt_block_scan"](
+        block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees, False
+    )
+    assert (counted[0], counted[1], counted[2]) == (pairs, total, len(cones))
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_edge_support_accumulate_matches_scatter(registry, graph):
+    oriented = orient_csr(graph)
+    n = oriented.num_vertices
+    edge_keys = kernels.csr_packed_keys(oriented.indptr, oriented.indices)
+    cones, vs, ws, _ = kernels.NUMPY_IMPLS["triangle_range"](
+        oriented.indptr, oriented.indices, 0, n, True
+    )
+    want = np.zeros(edge_keys.shape[0], dtype=np.int64)
+    sources = np.concatenate((cones, cones, vs))
+    destinations = np.concatenate((vs, ws, ws))
+    positions = np.searchsorted(
+        edge_keys, kernels.packed_keys(sources, destinations, n)
+    )
+    np.add.at(want, positions, 1)
+
+    got = np.zeros(edge_keys.shape[0], dtype=np.int64)
+    assert registry["edge_support_accumulate"](edge_keys, cones, vs, ws, n, got)
+    np.testing.assert_array_equal(got, want)
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_edge_support_accumulate_rolls_back_on_bad_pair(registry, graph):
+    oriented = orient_csr(graph)
+    n = oriented.num_vertices + 2  # room for a vertex pair that is no edge
+    edge_keys = kernels.csr_packed_keys(oriented.indptr, oriented.indices)
+    cones, vs, ws, _ = kernels.NUMPY_IMPLS["triangle_range"](
+        oriented.indptr, oriented.indices, 0, oriented.num_vertices, True
+    )
+    # append one triple whose (u, w) pair cannot be an oriented edge
+    bad_u = np.concatenate((cones, np.array([n - 2], dtype=np.int64)))
+    bad_v = np.concatenate((vs, np.array([n - 2], dtype=np.int64)))
+    bad_w = np.concatenate((ws, np.array([n - 1], dtype=np.int64)))
+    support = np.zeros(edge_keys.shape[0], dtype=np.int64)
+    ok = registry["edge_support_accumulate"](edge_keys, bad_u, bad_v, bad_w, n, support)
+    assert not ok
+    # every partial increment was rolled back
+    np.testing.assert_array_equal(support, np.zeros_like(support))
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_triangle_edge_ids_matches_searchsorted(registry, graph):
+    from repro.analytics.truss import canonical_edges
+
+    oriented = orient_csr(graph)
+    n = graph.num_vertices
+    edges = canonical_edges(graph)
+    keys = kernels.packed_keys(edges[:, 0], edges[:, 1], n)
+    cones, vs, ws, _ = kernels.NUMPY_IMPLS["triangle_range"](
+        oriented.indptr, oriented.indices, 0, n, True
+    )
+    want = np.empty((cones.shape[0], 3), dtype=np.int64)
+    for slot, (a, b) in enumerate(((cones, vs), (cones, ws), (vs, ws))):
+        queries = kernels.packed_keys(np.minimum(a, b), np.maximum(a, b), n)
+        want[:, slot] = np.searchsorted(keys, queries)
+
+    row_start = np.searchsorted(keys, np.arange(n + 1, dtype=np.int64) * n)
+    got = registry["triangle_edge_ids"](
+        oriented.indptr, oriented.indices, keys, row_start, n, 0, n
+    )
+    np.testing.assert_array_equal(np.asarray(got), want)
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_incidence_csr_matches_stable_argsort(registry, graph):
+    from repro.analytics.truss import canonical_edges, _triangle_edge_ids
+
+    n = graph.num_vertices
+    edges = canonical_edges(graph)
+    keys = kernels.packed_keys(edges[:, 0], edges[:, 1], n)
+    m = edges.shape[0]
+    with installed({}):
+        flat = _triangle_edge_ids(graph, keys).reshape(-1)
+
+    order = np.argsort(flat, kind="stable")
+    want_tri = order // 3
+    want_ptr = np.zeros(m + 1, dtype=np.int64)
+    if m:
+        np.cumsum(np.bincount(flat, minlength=m), out=want_ptr[1:])
+
+    got_ptr, got_tri = registry["incidence_csr"](flat, m)
+    np.testing.assert_array_equal(np.asarray(got_ptr), want_ptr)
+    np.testing.assert_array_equal(np.asarray(got_tri), want_tri)
+
+
+@REGISTRY_PARAMS
+@given(graph=random_graphs())
+@settings(**SETTINGS)
+def test_truss_decomposition_identical_under_registry(registry, graph):
+    with installed({}):
+        want = truss_decomposition(graph)
+    with installed(registry):
+        got = truss_decomposition(graph)
+    np.testing.assert_array_equal(got.trussness, want.trussness)
+    np.testing.assert_array_equal(got.support, want.support)
+    assert got.rounds == want.rounds
+    assert got.max_k == want.max_k

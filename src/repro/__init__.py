@@ -19,7 +19,11 @@ The public API is intentionally small:
 * :mod:`repro.analytics` -- triangle-*consumer* analytics on top of the
   engine: :func:`run_analytics` fans one PDTL run into per-edge supports,
   per-vertex counts, clustering coefficients, transitivity and the
-  k-truss decomposition.
+  k-truss decomposition;
+* :mod:`repro.obs` -- run telemetry: the hierarchical span tracer, the
+  metrics registry and the Chrome-trace exporter behind
+  ``PDTLConfig(trace=True)``, plus :func:`enable_logging` for per-module
+  diagnostics (``PDTL_LOG_LEVEL``).
 """
 
 from repro.analytics import AnalyticsResult, run_analytics
@@ -41,6 +45,7 @@ from repro.errors import (
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
+from repro.obs import RunTelemetry, enable_logging, get_logger
 
 __version__ = "1.0.0"
 
@@ -58,6 +63,9 @@ __all__ = [
     "edge_supports",
     "run_analytics",
     "AnalyticsResult",
+    "RunTelemetry",
+    "enable_logging",
+    "get_logger",
     "PDTLError",
     "GraphFormatError",
     "OutOfMemoryError",

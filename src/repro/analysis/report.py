@@ -22,6 +22,8 @@ __all__ = [
     "paper_vs_measured",
     "load_imbalance_table",
     "truss_summary_table",
+    "counters_table",
+    "telemetry_summary_table",
 ]
 
 
@@ -43,28 +45,51 @@ def _stringify(value: object) -> str:
     return str(value)
 
 
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def format_table(
     rows: Sequence[Mapping[str, object]],
     columns: Sequence[str] | None = None,
     title: str | None = None,
 ) -> str:
-    """Render a list of dict rows as an aligned text table."""
+    """Render a list of dict rows as an aligned text table.
+
+    Columns default to the union of all row keys in first-seen order (not
+    just the first row's keys), so sparse rows -- e.g. counters that only
+    some workers report -- still get a column.  Columns whose every present
+    value is numeric are right-aligned.
+    """
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
     header = [str(c) for c in columns]
     body = [[_stringify(row.get(c)) for c in columns] for row in rows]
+    numeric = [
+        all(_is_numeric(row[c]) for row in rows if row.get(c) is not None)
+        and any(c in row and row[c] is not None for row in rows)
+        for c in columns
+    ]
     widths = [
         max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(columns))
     ]
+
+    def _align(cell: str, i: int) -> str:
+        return cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join(_align(h, i) for i, h in enumerate(header)))
     lines.append("  ".join("-" * w for w in widths))
     for r in body:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        lines.append("  ".join(_align(c, i) for i, c in enumerate(r)))
     return "\n".join(lines)
 
 
@@ -112,6 +137,61 @@ def truss_summary_table(
         rows,
         columns=["k", "edges_peeled_at_k", "truss_edges", "truss_vertices"],
         title=title,
+    )
+
+
+def counters_table(
+    counters: Mapping[str, float],
+    title: str | None = None,
+    prefix: str | None = None,
+) -> str:
+    """Render a flat counter mapping as a two-column table.
+
+    Derived hit rates (``<base>.hit_rate`` for every ``.hits``/``.misses``
+    sibling pair -- the fd-cache and read-ahead counters in particular) are
+    appended automatically so the summary table exposes them without the
+    caller precomputing anything.  ``prefix`` filters to one namespace.
+    """
+    from repro.obs.metrics import derive_rates
+
+    merged = dict(counters)
+    merged.update(derive_rates(merged))
+    rows = [
+        {"counter": key, "value": round(value, 6) if isinstance(value, float) else value}
+        for key, value in sorted(merged.items())
+        if prefix is None or key.startswith(prefix)
+    ]
+    return format_table(rows, columns=["counter", "value"], title=title)
+
+
+def telemetry_summary_table(telemetry, title: str | None = None) -> str:
+    """Render a :class:`repro.obs.export.RunTelemetry` span rollup.
+
+    One row per span category (phase/chunk/kernel/host/analytics) with the
+    span count and summed wall-clock seconds, preceded by the run shape.
+    """
+    rows: list[dict[str, object]] = [
+        {
+            "category": "run",
+            "spans": len(telemetry.events),
+            "wall_seconds": None,
+            "detail": (
+                f"backend={telemetry.backend} scheduling={telemetry.scheduling} "
+                f"workers={telemetry.num_workers}"
+            ),
+        }
+    ]
+    for row in telemetry.summary_rows():
+        rows.append(
+            {
+                "category": row["category"],
+                "spans": row["spans"],
+                "wall_seconds": round(float(row["wall_seconds"]), 6),
+                "detail": None,
+            }
+        )
+    return format_table(
+        rows, columns=["category", "spans", "wall_seconds", "detail"], title=title
     )
 
 

@@ -29,12 +29,18 @@ sink's spill path), not to the in-memory decomposition.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.analytics.truss import TrussResult, truss_decomposition
-from repro.analysis.report import format_table, truss_summary_table
+from repro.analysis.report import (
+    counters_table,
+    format_table,
+    telemetry_summary_table,
+    truss_summary_table,
+)
 from repro.cluster.executor import ExecutionBackend
 from repro.core import kernels
 from repro.core.config import PDTLConfig
@@ -103,13 +109,26 @@ class AnalyticsResult:
         ]
 
     def report(self) -> str:
-        """Figure-style plain-text report (summary + truss table)."""
+        """Figure-style plain-text report (summary + truss table).
+
+        When the engine ran with ``trace=True`` the telemetry rollup and the
+        counter table (fd-cache / read-ahead hit rates included) are
+        appended, so one traced analytics run yields the full story.
+        """
         sections = [
             format_table(self.summary_rows(), title="Triangle analytics"),
             truss_summary_table(
                 self.truss.summary_rows(), title="k-truss decomposition"
             ),
         ]
+        telemetry = self.pdtl.telemetry
+        if telemetry is not None:
+            sections.append(
+                telemetry_summary_table(telemetry, title="Run telemetry")
+            )
+            sections.append(
+                counters_table(telemetry.counters, title="Run counters")
+            )
         return "\n\n".join(sections)
 
 
@@ -132,21 +151,43 @@ def run_analytics(
         raise ValueError("run_analytics expects the undirected graph")
 
     result = edge_supports(graph, config, backend=backend, **config_overrides)
+    telemetry = result.telemetry
 
     # canonicalise: the oriented adjacency stores each undirected edge once,
     # ordered by the degree-based orientation; re-key to (min, max) pairs in
     # lexicographic order, the shared canonical edge-id space
+    canon_start = time.perf_counter()
     oriented = result.oriented_edges
     low = np.minimum(oriented[:, 0], oriented[:, 1])
     high = np.maximum(oriented[:, 0], oriented[:, 1])
     order = np.argsort(kernels.packed_keys(low, high, csr.num_vertices))
     edges = np.stack([low[order], high[order]], axis=1)
     supports = result.edge_supports[order]
+    if telemetry is not None:
+        telemetry.record_span(
+            "canonicalise",
+            canon_start,
+            time.perf_counter() - canon_start,
+            cat="analytics",
+            track="analytics",
+            edges=int(edges.shape[0]),
+        )
 
     per_vertex = per_vertex_counts_from_edge_supports(
         csr.num_vertices, edges, supports
     )
+    truss_start = time.perf_counter()
     truss = truss_decomposition(csr, supports=supports, edges=edges)
+    if telemetry is not None:
+        telemetry.record_span(
+            "truss",
+            truss_start,
+            time.perf_counter() - truss_start,
+            cat="analytics",
+            track="analytics",
+            max_k=truss.max_k,
+            rounds=truss.rounds,
+        )
     return AnalyticsResult(
         pdtl=result,
         num_vertices=csr.num_vertices,

@@ -163,6 +163,16 @@ class PDTLConfig:
         backend-equivalence suite asserts it), only host wall-clock
         changes.  Worker processes re-apply the knob from the pickled
         config, so one setting governs every execution backend.
+    trace:
+        when True, the runner records a hierarchical span trace of the run
+        (master phases, per-chunk scans, per-window kernel spans) and
+        assembles the unified metrics registry; the result carries a
+        :class:`repro.obs.export.RunTelemetry` exportable as Chrome
+        trace-event JSON (:mod:`repro.obs`).  Instrumentation only, strictly
+        outside the accounting layer: every modelled time,
+        :class:`~repro.externalmem.iostats.IOStats` counter and triangle
+        count is bit-identical with tracing on or off, and the disabled
+        path records nothing and allocates nothing.
     """
 
     num_nodes: int = 1
@@ -187,6 +197,7 @@ class PDTLConfig:
     shm: bool = False
     mmap_reads: bool = False
     kernel_backend: str = "auto"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "memory_per_proc", parse_size(self.memory_per_proc))
@@ -262,6 +273,7 @@ class PDTLConfig:
                 f"got {self.kernel_backend!r}"
             )
         object.__setattr__(self, "kernel_backend", kernel_backend)
+        object.__setattr__(self, "trace", bool(self.trace))
 
     def _normalize_worker_spec(self, spec, label, coerce, check, requirement):
         """Normalise an injection spec (dict or iterable of ``(worker, value)``

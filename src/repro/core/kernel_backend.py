@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core import kernels
 from repro.errors import ConfigurationError
+from repro.obs.logconfig import fallback_message
 
 __all__ = [
     "BACKEND_NAMES",
@@ -63,9 +64,11 @@ __all__ = [
     "active_backend",
     "backend_available",
     "compiled_available",
+    "dispatch_counts",
     "ensure",
     "fused",
     "initialize_default",
+    "reset_dispatch_counts",
     "use",
     "warmup",
 ]
@@ -95,6 +98,25 @@ _resolved: str | None = None
 _probe_cache: dict[str, tuple[bool, str]] = {}
 _registry_cache: dict[str, dict[str, Callable]] = {}
 _warned: set[str] = set()
+
+# per-process fused-dispatch counts, keyed "<kernel>.<backend>"; plain int
+# increments (observability only, harvested by repro.obs.metrics)
+_dispatch_counts: dict[str, int] = {}
+
+
+def dispatch_counts() -> dict[str, int]:
+    """Copy of this process's fused-kernel dispatch counts.
+
+    Keys are ``"<kernel>.<backend>"`` (``"mgt_block_scan.numba"``,
+    ``"edge_support_accumulate.numpy"``); a :func:`fused` call that found no
+    compiled implementation counts as a numpy dispatch, since that is the
+    path the caller takes.
+    """
+    return dict(_dispatch_counts)
+
+
+def reset_dispatch_counts() -> None:
+    _dispatch_counts.clear()
 
 
 def _warn(key: str, message: str) -> None:
@@ -309,8 +331,11 @@ def activate(name: str) -> str:
         if not ok:
             _warn(
                 f"fallback:{name}",
-                f"kernel backend {name!r} is unavailable ({detail}); "
-                f"falling back to the numpy tier",
+                fallback_message(
+                    f"kernel backend {name!r}",
+                    f"it is unavailable ({detail})",
+                    "the numpy tier",
+                ),
             )
             resolved = "numpy"
     registry = _registry_cache.get(resolved, {}) if resolved != "numpy" else {}
@@ -370,7 +395,10 @@ def fused(name: str):
     """The active fused entry point ``name``, or ``None`` for the numpy path."""
     if not kernels._BACKEND_READY:
         initialize_default()
-    return kernels._ACTIVE_IMPLS.get(name)
+    impl = kernels._ACTIVE_IMPLS.get(name)
+    key = f"{name}.{_resolved if impl is not None else 'numpy'}"
+    _dispatch_counts[key] = _dispatch_counts.get(key, 0) + 1
+    return impl
 
 
 def warmup() -> tuple[str, ...]:

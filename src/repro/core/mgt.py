@@ -40,6 +40,7 @@ from repro.errors import ConfigurationError
 from repro.externalmem.iostats import IOStats
 from repro.externalmem.memory import MemoryBudget
 from repro.graph.binfmt import GraphFile
+from repro.obs.tracer import NULL_TRACER
 from repro.utils import ceil_div, prefix_sums
 
 __all__ = ["MGTWorker", "MGTResult", "mgt_count"]
@@ -96,6 +97,10 @@ class MGTWorker:
     range_start, range_stop:
         the half-open edge-position range this worker is responsible for;
         defaults to the whole file (single-core MGT).
+    tracer:
+        optional :class:`repro.obs.tracer.Tracer`; when given (and enabled)
+        the worker records one ``kernel``-category span per memory window.
+        Instrumentation only -- no accounted quantity depends on it.
     """
 
     def __init__(
@@ -104,6 +109,7 @@ class MGTWorker:
         config: PDTLConfig,
         range_start: int = 0,
         range_stop: int | None = None,
+        tracer=None,
     ) -> None:
         if not oriented.directed:
             raise ConfigurationError("MGTWorker requires an oriented graph file")
@@ -128,6 +134,7 @@ class MGTWorker:
             )
         self.budget = MemoryBudget(config.memory_per_proc)
         self.io_stats = IOStats(block_size=config.block_size)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._window_edges = config.window_edges
         # Small-degree assumption (footnote 1): every oriented out-list must
         # fit inside one memory window, otherwise a vertex's list could span
@@ -206,11 +213,26 @@ class MGTWorker:
             scan_plan = self._build_shared_scan_plan(offsets)
             cpu_seconds += time.thread_time() - t0
 
+        # hot loop: only build window spans when tracing is actually on, so
+        # the disabled path costs one attribute load per run, not per window
+        traced = self._tracer.enabled
+
         while window_start < self.range_stop:
             window_stop = min(window_start + self._window_edges, self.range_stop)
             iterations += 1
             edges_processed += window_stop - window_start
             cpu_operations += window_stop - window_start
+            window_span = (
+                self._tracer.span(
+                    "window",
+                    cat="kernel",
+                    window=iterations - 1,
+                    start=window_start,
+                    stop=window_stop,
+                )
+                if traced
+                else None
+            )
 
             # ---- load the window: edg + ind -------------------------------------
             edg = self.graph.read_adjacency_range(
@@ -270,6 +292,8 @@ class MGTWorker:
                 cpu_seconds += time.thread_time() - t0
                 self.budget.release("edg")
                 self.budget.release("ind")
+                if window_span is not None:
+                    window_span.end(pairs=pairs)
                 window_start = window_stop
                 continue
             v = 0
@@ -305,6 +329,8 @@ class MGTWorker:
 
             self.budget.release("edg")
             self.budget.release("ind")
+            if window_span is not None:
+                window_span.end()
             window_start = window_stop
 
         peak = self.budget.peak_usage

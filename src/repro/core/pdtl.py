@@ -22,7 +22,6 @@ can regenerate every evaluation figure that slices those quantities.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -62,6 +61,14 @@ from repro.errors import ConfigurationError
 from repro.externalmem.blockio import DiskModel
 from repro.graph.binfmt import GraphFile, write_graph
 from repro.graph.csr import CSRGraph
+from repro.obs.export import ChunkSpan, RunTelemetry, WorkerTrack
+from repro.obs.logconfig import warn_fallback
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter_delta,
+    snapshot_process_counters,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.utils import Timer
 
 __all__ = ["PDTLRunner", "PDTLResult", "WorkerReport"]
@@ -134,6 +141,10 @@ class PDTLResult:
     num_chunks: int = 0
     shm_used: bool = False
     preprocess_parallel: bool = False
+    #: structured observability payload of a traced run (``config.trace``);
+    #: ``None`` when tracing was off.  Instrumentation only: no other field
+    #: of this result depends on whether it was collected.
+    telemetry: RunTelemetry | None = None
 
     @property
     def average_copy_seconds(self) -> float:
@@ -282,11 +293,11 @@ class PDTLRunner:
         with bit-identical results."""
         available, reason = shm_available()
         if not available:
-            warnings.warn(
-                f"parallel_preprocess=True requested but {reason}; falling "
-                f"back to threaded orientation",
-                RuntimeWarning,
-                stacklevel=3,
+            warn_fallback(
+                "parallel_preprocess=True",
+                reason,
+                "threaded orientation",
+                stacklevel=4,
             )
             return None
         return publish_input_graph(source)
@@ -346,11 +357,8 @@ class PDTLRunner:
             return None
         available, reason = shm_available()
         if not available:
-            warnings.warn(
-                f"shm=True requested but {reason}; falling back to on-disk "
-                f"window reads",
-                RuntimeWarning,
-                stacklevel=3,
+            warn_fallback(
+                "shm=True", reason, "on-disk window reads", stacklevel=4
             )
             return None
         return publish_graph(oriented)
@@ -361,6 +369,16 @@ class PDTLRunner:
         config = self.config
         dynamic = config.scheduling == "dynamic"
 
+        # Observability: a live tracer (master track) only when configured;
+        # everything below feeds spans/phase deltas through it, and the
+        # NULL_TRACER path records nothing and allocates nothing.  The
+        # per-phase IOStats deltas are *snapshots* -- reading them never
+        # mutates the accounting the untraced run produces.
+        tracing = config.trace
+        tracer = Tracer(track="master") if tracing else NULL_TRACER
+        run_counters_before = snapshot_process_counters() if tracing else None
+        phase_io: dict[str, object] = {}
+
         # Step 1: stage + orient on the master.  The master-device counters
         # are snapshotted here and again after replication, so the run's
         # metrics carry the modelled *setup* phase (staging + orientation +
@@ -368,32 +386,45 @@ class PDTLRunner:
         # equivalence suite asserts bit-identical across execution paths.
         master_stats = cluster.master.device.stats
         setup_baseline = master_stats.snapshot()
-        source = self._stage_input(cluster, graph)
-        orientation = self._orient(source)
+        phase_baseline = setup_baseline
+        with tracer.span("stage_input", cat="phase"):
+            source = self._stage_input(cluster, graph)
+        if tracing:
+            phase_io["stage_input"] = master_stats.delta(phase_baseline)
+            phase_baseline = master_stats.snapshot()
+        with tracer.span("orient", cat="phase"):
+            orientation = self._orient(source)
+        if tracing:
+            phase_io["orient"] = master_stats.delta(phase_baseline)
+            phase_baseline = master_stats.snapshot()
         oriented = orientation.oriented
 
         # Step 2: work assignment -- static edge ranges (load-balanced or
         # naive), or the dynamic scheduler's window-aligned chunk queue
         ranges: list[EdgeRange] = []
         chunks: list[Chunk] = []
-        if dynamic:
-            chunks = make_chunks(
-                oriented.num_edges, resolve_chunk_edges(config, oriented.num_edges)
-            )
-        else:
-            ranges = split_edges(
-                num_edges=oriented.num_edges,
-                num_nodes=config.num_nodes,
-                procs_per_node=config.procs_per_node,
-                out_degrees=orientation.out_degrees,
-                in_degrees=orientation.in_degrees,
-                load_balanced=config.load_balanced,
-            )
+        with tracer.span("plan", cat="phase", scheduling=config.scheduling):
+            if dynamic:
+                chunks = make_chunks(
+                    oriented.num_edges, resolve_chunk_edges(config, oriented.num_edges)
+                )
+            else:
+                ranges = split_edges(
+                    num_edges=oriented.num_edges,
+                    num_nodes=config.num_nodes,
+                    procs_per_node=config.procs_per_node,
+                    out_degrees=orientation.out_degrees,
+                    in_degrees=orientation.in_degrees,
+                    load_balanced=config.load_balanced,
+                )
 
         # Step 3: replicate the oriented graph + send per-processor configs
-        local_graphs = cluster.replicate_graph(oriented)
-        for worker in range(config.total_processors):
-            cluster.send_configuration(worker // config.procs_per_node)
+        with tracer.span("replicate", cat="phase"):
+            local_graphs = cluster.replicate_graph(oriented)
+            for worker in range(config.total_processors):
+                cluster.send_configuration(worker // config.procs_per_node)
+        if tracing:
+            phase_io["replicate"] = master_stats.delta(phase_baseline)
 
         # preprocessing complete: record the master's modelled setup phase
         cluster.metrics.setup_io_stats = master_stats.delta(setup_baseline)
@@ -412,25 +443,30 @@ class PDTLRunner:
             unit_graphs = [local_graphs[r.node_index] for r in ranges]
         publication = self._publish_shared(oriented)
         try:
-            outcomes = self._execute_units(
-                units,
-                unit_graphs,
-                sink_kind,
-                shm_descriptor=publication.descriptor if publication else None,
-            )
+            with tracer.span(
+                "triangle_scan", cat="phase", units=len(units), sink=sink_kind
+            ):
+                outcomes = self._execute_units(
+                    units,
+                    unit_graphs,
+                    sink_kind,
+                    shm_descriptor=publication.descriptor if publication else None,
+                )
         finally:
             if publication is not None:
                 publication.unlink()
 
         # Step 5: aggregate at the master
-        if dynamic:
-            reports, edge_ranges = self._aggregate_dynamic(
-                cluster, chunks, outcomes, sink_kind, oriented.num_edges
-            )
-        else:
-            reports, edge_ranges = self._aggregate_static(
-                cluster, ranges, outcomes, sink_kind, oriented.num_edges
-            )
+        schedule: ScheduleResult | None = None
+        with tracer.span("aggregate", cat="phase"):
+            if dynamic:
+                reports, edge_ranges, schedule = self._aggregate_dynamic(
+                    cluster, chunks, outcomes, sink_kind, oriented.num_edges
+                )
+            else:
+                reports, edge_ranges = self._aggregate_static(
+                    cluster, ranges, outcomes, sink_kind, oriented.num_edges
+                )
         total_triangles = sum(outcome.triangles for outcome in outcomes)
 
         metrics = cluster.metrics
@@ -463,6 +499,18 @@ class PDTLRunner:
                 edge_supports[outcome.support_positions] += outcome.support_counts
             oriented_edges = oriented_edge_array(oriented)
 
+        telemetry: RunTelemetry | None = None
+        if tracing:
+            telemetry = self._build_telemetry(
+                cluster,
+                tracer,
+                phase_io,
+                units,
+                outcomes,
+                schedule,
+                run_counters_before,
+            )
+
         return PDTLResult(
             config=config,
             triangles=total_triangles,
@@ -483,7 +531,123 @@ class PDTLRunner:
             num_chunks=len(units),
             shm_used=publication is not None,
             preprocess_parallel=orientation.executor == "processes",
+            telemetry=telemetry,
         )
+
+    def _build_telemetry(
+        self,
+        cluster: Cluster,
+        tracer: Tracer,
+        phase_io: dict,
+        units: list[tuple[int, int]],
+        outcomes: list[ChunkOutcome],
+        schedule: ScheduleResult | None,
+        run_counters_before: dict | None,
+    ) -> RunTelemetry:
+        """Assemble the traced run's telemetry: merged events, the unified
+        metrics registry, and the modelled per-worker timeline.
+
+        Everything here *reads* already-final state (snapshots, outcome
+        payloads, the deterministic schedule replay), so assembly can never
+        perturb the accounted results it describes.  Event order is
+        deterministic: master events in enter order, then each chunk's
+        events in chunk-index order -- never completion order.
+        """
+        config = self.config
+        telemetry = RunTelemetry(
+            backend=self.backend.value,
+            scheduling=config.scheduling,
+            num_workers=config.total_processors,
+            procs_per_node=config.procs_per_node,
+        )
+
+        events = list(tracer.events)
+        for outcome in outcomes:
+            events.extend(outcome.events)
+        telemetry.events = events
+
+        # chunk -> modelled worker: the deterministic schedule replay under
+        # dynamic scheduling; unit index == worker index under static
+        if schedule is not None:
+            telemetry.chunk_owners = schedule.owner_of()
+        else:
+            telemetry.chunk_owners = {i: i for i in range(len(outcomes))}
+
+        # modelled per-worker timeline (the paper-model trace variant)
+        costs = [o.result.cpu_seconds + o.result.io_seconds for o in outcomes]
+        factors = config.straggler_factors
+        tracks: list[WorkerTrack] = []
+        assignments = (
+            schedule.assignments
+            if schedule is not None
+            else [[i] for i in range(len(outcomes))]
+        )
+        for worker, indices in enumerate(assignments):
+            node, proc = divmod(worker, config.procs_per_node)
+            track = WorkerTrack(worker=worker, node=node, proc=proc)
+            cursor = 0.0
+            for index in indices:
+                duration = costs[index] * factors.get(worker, 1.0)
+                start, stop = units[index]
+                track.spans.append(
+                    ChunkSpan(
+                        index=index,
+                        start=cursor,
+                        duration=duration,
+                        edges=stop - start,
+                        triangles=outcomes[index].triangles,
+                    )
+                )
+                cursor += duration
+            tracks.append(track)
+        telemetry.worker_tracks = tracks
+        telemetry.phase_seconds = {
+            phase: stats.device_seconds for phase, stats in phase_io.items()
+        }
+
+        # the unified metrics registry (flattened into telemetry.counters)
+        registry = MetricsRegistry()
+        registry.add_iostats("io.setup", cluster.metrics.setup_io_stats)
+        for phase, stats in phase_io.items():
+            registry.add_iostats(f"io.phase.{phase}", stats)
+        registry.set_gauge("cluster.calc_seconds", cluster.metrics.calc_seconds)
+        registry.set_gauge(
+            "cluster.total_cpu_seconds", cluster.metrics.total_cpu_seconds
+        )
+        registry.set_gauge(
+            "cluster.total_io_seconds", cluster.metrics.total_io_seconds
+        )
+        registry.inc("network.bytes", cluster.network.total_bytes)
+        registry.inc("network.messages", cluster.network.total_messages)
+        if schedule is not None:
+            registry.inc("scheduler.chunks", len(outcomes))
+            registry.inc("scheduler.steals", schedule.total_steals)
+            registry.inc("scheduler.retries", schedule.total_retries)
+            registry.inc(
+                "scheduler.failed_workers", len(schedule.failed_workers)
+            )
+            registry.set_gauge(
+                "scheduler.max_queue_depth", schedule.max_queue_depth
+            )
+            registry.observe_each(
+                "scheduler.queue_depth", schedule.queue_depths
+            )
+        for outcome in outcomes:
+            if outcome.counters:
+                registry.add_counts(outcome.counters, prefix="worker.")
+        for key, value in cluster.master.device.host_counters.as_dict().items():
+            if value:
+                registry.inc(f"master.blockio.{key}", value)
+        if run_counters_before is not None:
+            # run-level process-global delta: exact totals for the serial
+            # and threads backends (everything shares this process); the
+            # master-side publish/attach share for the processes backends
+            registry.add_counts(
+                counter_delta(snapshot_process_counters(), run_counters_before),
+                prefix="run.",
+            )
+        telemetry.counters = registry.as_dict()
+        return telemetry
 
     def _aggregate_static(
         self,
@@ -524,7 +688,7 @@ class PDTLRunner:
         outcomes: list[ChunkOutcome],
         sink_kind: str,
         num_edges: int,
-    ) -> tuple[list[WorkerReport], list[EdgeRange]]:
+    ) -> tuple[list[WorkerReport], list[EdgeRange], ScheduleResult]:
         """Replay the pull-based schedule and account it to the cluster.
 
         Chunk→worker assignment is the deterministic modelled-time replay of
@@ -600,4 +764,4 @@ class PDTLRunner:
             )
             for c in chunks
         ]
-        return reports, edge_ranges
+        return reports, edge_ranges, schedule

@@ -38,6 +38,7 @@ split between *measured host execution* and *modelled cluster time*:
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from collections import deque
@@ -54,6 +55,8 @@ from repro.errors import ConfigurationError, SchedulingError
 from repro.externalmem.blockio import BlockDevice, DiskModel
 from repro.externalmem.iostats import IOStats
 from repro.graph.binfmt import GraphFile
+from repro.obs.metrics import counter_delta, snapshot_process_counters
+from repro.obs.tracer import NULL_TRACER, SpanEvent, Tracer
 from repro.utils import ceil_div, chunk_ranges
 
 __all__ = [
@@ -196,6 +199,10 @@ class ChunkTask:
     sink_kind: str
     shm: SharedGraphDescriptor | None = None
     seed: int = 0
+    #: pid of the process that built the task; lets a traced chunk decide
+    #: whether it runs in a worker process (where per-task process-counter
+    #: deltas are exact) or in the master (where the run-level delta wins)
+    master_pid: int = 0
 
     @classmethod
     def from_graph(
@@ -223,6 +230,7 @@ class ChunkTask:
             sink_kind=sink_kind,
             shm=shm,
             seed=chunk_seed(config.seed, index),
+            master_pid=os.getpid(),
         )
 
     def rng(self) -> np.random.Generator:
@@ -251,6 +259,10 @@ class ChunkOutcome:
     per_vertex: np.ndarray | None = None
     support_positions: np.ndarray | None = None
     support_counts: np.ndarray | None = None
+    #: traced-run payload (empty/None when tracing is off): the chunk's span
+    #: events and its host-cache counter deltas, both picklable plain data
+    events: tuple[SpanEvent, ...] = ()
+    counters: dict[str, float] | None = None
 
 
 def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
@@ -267,11 +279,26 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
     feed the identical analytic accounting, so every modelled number is
     bit-identical between them.
     """
+    trace = task.config.trace
+    tracer = Tracer(track=f"chunk{task.index}") if trace else NULL_TRACER
+    # process-global counters (shm attach cache, kernel dispatch) are only
+    # delta'd per task inside a worker process, where tasks run one at a
+    # time so the delta is exact; in the master process (serial/threads)
+    # the runner's run-level delta covers them without double counting
+    counters_before = (
+        snapshot_process_counters()
+        if trace and os.getpid() != task.master_pid
+        else None
+    )
     if task.config.host_jitter_seconds > 0.0:
         # deterministic straggler injection: the delay is a pure function
         # of the chunk id (never of the worker that happens to hold it),
         # and wall-clock only -- no modelled counter moves
-        time.sleep(float(task.rng().uniform(0.0, task.config.host_jitter_seconds)))
+        with tracer.span("jitter", cat="host"):
+            time.sleep(
+                float(task.rng().uniform(0.0, task.config.host_jitter_seconds))
+            )
+    device = None
     if task.shm is not None:
         graph = attach_view(task.shm, task.disk_model)
     else:
@@ -302,6 +329,7 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
     # private host-side scratch file (below the modelled accounting) and
     # the outcome is assembled from the bounded external merge.
     spill_scratch: tempfile.TemporaryDirectory | None = None
+    spill_device: BlockDevice | None = None
     if sink_kind == "edge-support":
         spill_scratch = tempfile.TemporaryDirectory(prefix="pdtl_spill_")
         spill_device = BlockDevice(
@@ -320,9 +348,24 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
         sink = make_sink(sink_kind, num_vertices=task.num_vertices, graph=graph)
     try:
         worker = MGTWorker(
-            graph, task.config, range_start=task.start, range_stop=task.stop
+            graph,
+            task.config,
+            range_start=task.start,
+            range_stop=task.stop,
+            tracer=tracer,
         )
-        result = worker.run(sink)
+        with tracer.span(
+            "chunk",
+            cat="chunk",
+            chunk=task.index,
+            start=task.start,
+            stop=task.stop,
+            sink=sink_kind,
+        ) as chunk_span:
+            result = worker.run(sink)
+            chunk_span.annotate(
+                triangles=result.triangles, windows=result.iterations
+            )
         triples: np.ndarray | None = None
         per_vertex: np.ndarray | None = None
         support_positions: np.ndarray | None = None
@@ -344,6 +387,27 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
     finally:
         if spill_scratch is not None:
             spill_scratch.cleanup()
+    events: tuple[SpanEvent, ...] = ()
+    counters: dict[str, float] | None = None
+    if trace:
+        events = tracer.events
+        counters = {}
+        if counters_before is not None:
+            counters.update(
+                counter_delta(snapshot_process_counters(), counters_before)
+            )
+        if device is not None:
+            for key, value in device.host_counters.as_dict().items():
+                if value:
+                    counters[f"blockio.{key}"] = value
+        if spill_device is not None:
+            for key, value in spill_device.host_counters.as_dict().items():
+                if value:
+                    counters[f"spill.{key}"] = value
+        if sink_kind == "edge-support":
+            if sink.spill_run_count:
+                counters["sink.spill_runs"] = sink.spill_run_count
+                counters["sink.spilled_positions"] = sink.spilled_positions
     return ChunkOutcome(
         index=task.index,
         result=result,
@@ -352,6 +416,8 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
         per_vertex=per_vertex,
         support_positions=support_positions,
         support_counts=support_counts,
+        events=events,
+        counters=counters,
     )
 
 
@@ -419,10 +485,17 @@ class ScheduleResult:
     stolen: list[int]
     retried: list[list[int]]
     failed_workers: list[int] = field(default_factory=list)
+    #: queue depth observed at every pull attempt (including the pull on
+    #: which a worker dies), in pull order -- deterministic observability
+    queue_depths: list[int] = field(default_factory=list)
 
     @property
     def num_workers(self) -> int:
         return len(self.assignments)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depths, default=0)
 
     @property
     def total_steals(self) -> int:
@@ -518,8 +591,10 @@ class DynamicScheduler:
         failed_workers: list[int] = []
         needs_retry: set[int] = set()
         homes = self.static_owners()
+        queue_depths: list[int] = []
 
         while pending:
+            queue_depths.append(len(pending))
             puller = min(
                 (w for w in range(self.num_workers) if alive[w]),
                 key=lambda w: (times[w], w),
@@ -556,4 +631,5 @@ class DynamicScheduler:
             stolen=stolen,
             retried=retried,
             failed_workers=failed_workers,
+            queue_depths=queue_depths,
         )

@@ -68,6 +68,7 @@ __all__ = [
     "SharedGraphDescriptor",
     "SharedGraphPublication",
     "SharedGraphView",
+    "attach_cache_stats",
     "attach_view",
     "detach_view",
     "publish_graph",
@@ -540,6 +541,16 @@ _ATTACH_LOCK = threading.Lock()
 _ATTACHED: dict[str, SharedGraphView] = {}
 _MAX_ATTACHED = 2
 
+# attach-cache effectiveness (observability only; harvested by
+# repro.obs.metrics via before/after snapshots)
+_ATTACH_STATS = {"hits": 0, "misses": 0}
+
+
+def attach_cache_stats() -> dict[str, int]:
+    """Copy of this process's attach-cache hit/miss counters."""
+    with _ATTACH_LOCK:
+        return dict(_ATTACH_STATS)
+
 
 def _sweep_dead_locked() -> None:
     """Drop cached views whose segments were unlinked; caller holds the lock."""
@@ -557,7 +568,9 @@ def attach_view(descriptor: SharedGraphDescriptor, model: DiskModel) -> SharedGr
         view = _ATTACHED.pop(descriptor.token, None)
         if view is not None:
             _ATTACHED[descriptor.token] = view  # bump LRU recency
+            _ATTACH_STATS["hits"] += 1
             return view
+        _ATTACH_STATS["misses"] += 1
     view = SharedGraphView(descriptor, model)
     with _ATTACH_LOCK:
         existing = _ATTACHED.get(descriptor.token)

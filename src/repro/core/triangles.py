@@ -488,6 +488,16 @@ class EdgeSupportSink:
     def spilling(self) -> bool:
         return self.support is None
 
+    @property
+    def spill_run_count(self) -> int:
+        """Sorted runs flushed to the spill device so far (observability)."""
+        return len(self._runs)
+
+    @property
+    def spilled_positions(self) -> int:
+        """Total edge-position records spilled so far (observability)."""
+        return sum(self._runs)
+
     # -- position resolution ------------------------------------------------------
 
     def _positions(self, sources: np.ndarray, destinations: np.ndarray) -> np.ndarray:

@@ -56,7 +56,7 @@ from repro.errors import PDTLError
 from repro.externalmem.iostats import IOStats
 from repro.utils import ceil_div, parse_size
 
-__all__ = ["BlockDevice", "BlockFile", "DEFAULT_BLOCK_SIZE"]
+__all__ = ["BlockDevice", "BlockFile", "DEFAULT_BLOCK_SIZE", "HostCounters"]
 
 DEFAULT_BLOCK_SIZE = 4096
 
@@ -64,6 +64,45 @@ DEFAULT_BLOCK_SIZE = 4096
 #: idle descriptors are closed first.  Keeps a long pytest session with
 #: hundreds of scratch devices well under the process fd limit.
 MAX_CACHED_FDS = 128
+
+
+class HostCounters:
+    """Host-side cache effectiveness counters for one :class:`BlockDevice`.
+
+    These count what the buffering layers *below* the accounting actually
+    did -- fd-cache hits vs ``os.open`` calls, read-ahead window loads vs
+    logical reads served, mmap-served reads.  They are observability only:
+    plain integer increments with no locking (device instances are either
+    private to one task or incremented under the caches' existing locks),
+    and nothing in the accounting layer reads them.
+    """
+
+    __slots__ = (
+        "fd_cache_hits",
+        "fd_cache_misses",
+        "readahead_hits",
+        "readahead_misses",
+        "readahead_window_loads",
+        "mmap_served_reads",
+    )
+
+    def __init__(self) -> None:
+        self.fd_cache_hits = 0
+        self.fd_cache_misses = 0
+        self.readahead_hits = 0
+        self.readahead_misses = 0
+        self.readahead_window_loads = 0
+        self.mmap_served_reads = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "fd_cache.hits": self.fd_cache_hits,
+            "fd_cache.misses": self.fd_cache_misses,
+            "readahead.hits": self.readahead_hits,
+            "readahead.misses": self.readahead_misses,
+            "readahead.window_loads": self.readahead_window_loads,
+            "mmap.served_reads": self.mmap_served_reads,
+        }
 
 
 class _FdEntry:
@@ -149,6 +188,8 @@ class BlockDevice:
         self.mmap_reads = bool(mmap_reads)
         self._mmap_lock = threading.Lock()
         self._mmaps: dict[str, mmap.mmap] = {}
+        # host-cache effectiveness counters (observability only)
+        self.host_counters = HostCounters()
 
     # -- file management -------------------------------------------------------
 
@@ -238,7 +279,9 @@ class BlockDevice:
             if entry is not None:
                 self._fds[name] = entry  # re-insert to bump LRU recency
                 entry.refs += 1
+                self.host_counters.fd_cache_hits += 1
                 return entry
+            self.host_counters.fd_cache_misses += 1
         flags = os.O_RDWR | (os.O_CREAT if create else 0)
         fd = os.open(path, flags, 0o644)
         with self._fd_lock:
@@ -307,6 +350,7 @@ class BlockDevice:
                     finally:
                         os.close(fd)
                     self._mmaps[name] = mapped
+            self.host_counters.mmap_served_reads += 1
             return mapped[offset : offset + nbytes]
 
     def _invalidate_mmap(self, name: str) -> None:
@@ -468,6 +512,7 @@ class BlockFile:
         chunks: list[bytes] = []
         pos = offset
         remaining = nbytes
+        loads = 0
         # private snapshot: consistent even if another thread swaps the
         # shared window mid-read
         window_start, window = self._ra_window
@@ -476,6 +521,7 @@ class BlockFile:
                 window_start = (pos // self._ra_size) * self._ra_size
                 window = self._pread(self._ra_size, window_start)
                 self._ra_window = (window_start, window)
+                loads += 1
                 if pos >= window_start + len(window):
                     break  # at or past EOF
             take = min(remaining, window_start + len(window) - pos)
@@ -485,6 +531,12 @@ class BlockFile:
             remaining -= take
             if remaining > 0 and len(window) < self._ra_size:
                 break  # the window ends at EOF; nothing further to read
+        counters = self.device.host_counters
+        if loads:
+            counters.readahead_misses += 1
+            counters.readahead_window_loads += loads
+        else:
+            counters.readahead_hits += 1
         return b"".join(chunks)
 
     # -- raw byte interface -------------------------------------------------------

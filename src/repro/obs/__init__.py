@@ -1,0 +1,55 @@
+"""Unified run observability: span tracer, metrics registry, exporters.
+
+Everything here sits strictly *outside* the analytic accounting layer:
+enabling tracing never changes modelled times, ``IOStats``, or triangle
+counts, and the disabled path (:data:`NULL_TRACER`) records nothing and
+allocates nothing.
+"""
+
+from repro.obs.export import ChunkSpan, RunTelemetry, WorkerTrack
+from repro.obs.logconfig import (
+    PDTL_LOG_ENV,
+    enable_logging,
+    fallback_message,
+    get_logger,
+    warn_fallback,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_delta,
+    derive_rates,
+    snapshot_process_counters,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    as_tracer,
+)
+
+__all__ = [
+    "ChunkSpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PDTL_LOG_ENV",
+    "RunTelemetry",
+    "SpanEvent",
+    "Tracer",
+    "WorkerTrack",
+    "as_tracer",
+    "counter_delta",
+    "derive_rates",
+    "enable_logging",
+    "fallback_message",
+    "get_logger",
+    "snapshot_process_counters",
+    "warn_fallback",
+]

@@ -1,0 +1,105 @@
+"""Structured logging for the ``repro`` package and shared fallback prose.
+
+``enable_logging()`` attaches one stream handler to the ``repro`` root
+logger; per-module loggers (``repro.core.pdtl``, ``repro.externalmem...``)
+inherit from it, so callers tune verbosity in one place.  The level comes
+from the explicit argument or the ``PDTL_LOG_LEVEL`` environment variable.
+
+The engine degrades gracefully in several places (no /dev/shm mount, no
+compiled kernel tier, pickling-hostile graph sources).  Every such site
+previously built its own ``RuntimeWarning`` prose; they now share
+:func:`fallback_message` / :func:`warn_fallback` so the wording stays
+uniform: ``"<feature> requested but <reason>; falling back to <fallback>"``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import warnings
+
+PDTL_LOG_ENV = "PDTL_LOG_LEVEL"
+DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_ROOT_NAME = "repro"
+_HANDLER_TAG = "_pdtl_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``get_logger("core.pdtl")``)."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def _resolve_level(level: "int | str | None") -> int:
+    if level is None:
+        level = os.environ.get(PDTL_LOG_ENV, "INFO")
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def enable_logging(
+    level: "int | str | None" = None,
+    stream=None,
+    fmt: "str | None" = None,
+) -> logging.Logger:
+    """Configure package-wide logging and return the ``repro`` root logger.
+
+    Idempotent: repeated calls reuse the handler installed by the first call
+    (updating its level/stream/format) instead of stacking duplicates.
+    ``level`` defaults to the ``PDTL_LOG_LEVEL`` environment variable, then
+    ``INFO``.
+    """
+    root = get_logger()
+    root.setLevel(_resolve_level(level))
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setFormatter(logging.Formatter(fmt or DEFAULT_FORMAT))
+    return root
+
+
+def logging_enabled() -> bool:
+    """True once :func:`enable_logging` has installed the package handler."""
+    return any(
+        getattr(h, _HANDLER_TAG, False) for h in get_logger().handlers
+    )
+
+
+def fallback_message(feature: str, reason: str, fallback: str) -> str:
+    """The one shared prose template for graceful-degradation warnings."""
+    return f"{feature} requested but {reason}; falling back to {fallback}"
+
+
+def warn_fallback(
+    feature: str,
+    reason: str,
+    fallback: str,
+    *,
+    logger: "logging.Logger | None" = None,
+    stacklevel: int = 3,
+) -> str:
+    """Emit the shared fallback message as a ``RuntimeWarning`` (and log it).
+
+    The log record is only emitted when package logging has been enabled, so
+    library users who never call :func:`enable_logging` see exactly the same
+    single ``RuntimeWarning`` as before this helper existed.
+    """
+    message = fallback_message(feature, reason, fallback)
+    if logging_enabled():
+        (logger or get_logger("fallback")).warning(message)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel)
+    return message

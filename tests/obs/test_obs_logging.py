@@ -1,0 +1,93 @@
+"""Unit tests for enable_logging / PDTL_LOG_LEVEL and the fallback prose."""
+
+from __future__ import annotations
+
+import io
+import logging
+import warnings
+
+import pytest
+
+from repro.obs.logconfig import (
+    PDTL_LOG_ENV,
+    enable_logging,
+    fallback_message,
+    get_logger,
+    logging_enabled,
+    warn_fallback,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    """Remove the package handler installed by a test, restore the level."""
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    yield
+    root.handlers[:] = saved_handlers
+    root.setLevel(saved_level)
+
+
+class TestGetLogger:
+    def test_prefixes_package_namespace(self):
+        assert get_logger("core.pdtl").name == "repro.core.pdtl"
+        assert get_logger("repro.core.shm").name == "repro.core.shm"
+        assert get_logger().name == "repro"
+
+
+class TestEnableLogging:
+    def test_installs_single_handler_idempotently(self):
+        stream = io.StringIO()
+        root = enable_logging("DEBUG", stream=stream)
+        first = [h for h in root.handlers]
+        enable_logging("INFO", stream=stream)
+        assert root.handlers == first
+        assert root.level == logging.INFO
+        assert logging_enabled()
+
+    def test_level_from_environment(self, monkeypatch):
+        monkeypatch.setenv(PDTL_LOG_ENV, "warning")
+        root = enable_logging(stream=io.StringIO())
+        assert root.level == logging.WARNING
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            enable_logging("chatty", stream=io.StringIO())
+
+    def test_module_loggers_inherit(self):
+        stream = io.StringIO()
+        enable_logging("INFO", stream=stream, fmt="%(name)s %(message)s")
+        get_logger("externalmem.blockio").info("read-ahead window loaded")
+        assert "repro.externalmem.blockio read-ahead window loaded" \
+            in stream.getvalue()
+
+
+class TestFallbackProse:
+    def test_shared_template(self):
+        message = fallback_message(
+            "shm=True", "no /dev/shm mount", "on-disk window reads"
+        )
+        assert message == (
+            "shm=True requested but no /dev/shm mount; "
+            "falling back to on-disk window reads"
+        )
+
+    def test_warn_fallback_always_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            message = warn_fallback("featureX", "reasons", "the slow path")
+        assert len(caught) == 1
+        assert caught[0].category is RuntimeWarning
+        assert str(caught[0].message) == message
+
+    def test_warn_fallback_logs_only_when_enabled(self):
+        stream = io.StringIO()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            warn_fallback("featureY", "why", "numpy")
+            assert stream.getvalue() == ""
+            enable_logging("INFO", stream=stream, fmt="%(message)s")
+            warn_fallback("featureY", "why", "numpy")
+        assert "featureY requested but why; falling back to numpy" \
+            in stream.getvalue()

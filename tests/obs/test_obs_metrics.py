@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry and the snapshot/delta helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_delta,
+    derive_rates,
+    snapshot_process_counters,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        other = Counter("hits", value=5)
+        c.merge(other)
+        assert c.value == 10
+        assert c.as_items() == [("hits", 10)]
+
+    def test_gauge_merge_takes_max(self):
+        g = Gauge("depth")
+        g.set(3)
+        other = Gauge("depth", value=7)
+        g.merge(other)
+        assert g.value == 7
+
+    def test_histogram(self):
+        h = Histogram("queue")
+        for value in (2, 5, 1):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 8
+        assert h.min == 1 and h.max == 5
+        assert h.mean == pytest.approx(8 / 3)
+        items = dict(h.as_items())
+        assert items["queue.count"] == 3
+        assert items["queue.min"] == 1
+        assert items["queue.max"] == 5
+
+    def test_histogram_merge_with_empty(self):
+        h = Histogram("q")
+        empty = Histogram("q")
+        h.observe(4)
+        h.merge(empty)
+        assert (h.count, h.min, h.max) == (1, 4, 4)
+        empty.merge(h)
+        assert (empty.count, empty.min, empty.max) == (1, 4, 4)
+
+
+class TestRegistry:
+    def test_get_or_create_and_kind_clash(self):
+        reg = MetricsRegistry()
+        reg.inc("a.hits", 2)
+        reg.set_gauge("depth", 9)
+        reg.observe("lat", 0.5)
+        assert reg.counter("a.hits").value == 2
+        with pytest.raises(TypeError):
+            reg.gauge("a.hits")
+        assert len(reg) == 3
+        assert "depth" in reg
+
+    def test_add_counts_with_prefix(self):
+        reg = MetricsRegistry()
+        reg.add_counts({"fd_cache.hits": 3, "fd_cache.misses": 1}, prefix="worker.")
+        assert reg.as_dict() == {
+            "worker.fd_cache.hits": 3,
+            "worker.fd_cache.misses": 1,
+        }
+
+    def test_add_iostats_skips_block_size(self):
+        class FakeStats:
+            def as_dict(self):
+                return {"block_size": 512, "bytes_read": 1024, "read_calls": 2}
+
+        reg = MetricsRegistry()
+        reg.add_iostats("io.setup", FakeStats())
+        assert reg.as_dict() == {
+            "io.setup.bytes_read": 1024,
+            "io.setup.read_calls": 2,
+        }
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        b.set_gauge("g", 5)
+        b.observe("h", 1.0)
+        a.merge(b)
+        flat = a.as_dict()
+        assert flat["n"] == 3
+        assert flat["g"] == 5
+        assert flat["h.count"] == 1
+
+    def test_as_dict_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        assert list(reg.as_dict()) == ["a", "z"]
+
+
+class TestDerivedRates:
+    def test_hit_rate_pairs(self):
+        rates = derive_rates(
+            {"c.hits": 3, "c.misses": 1, "lonely.hits": 2, "zero.hits": 0,
+             "zero.misses": 0}
+        )
+        assert rates == {"c.hit_rate": 0.75}
+
+    def test_counter_delta_drops_zero_diffs(self):
+        before = {"a": 1, "b": 2}
+        after = {"a": 1, "b": 5, "c": 7}
+        assert counter_delta(after, before) == {"b": 3, "c": 7}
+
+
+class TestProcessSnapshots:
+    def test_snapshot_keys_and_delta_attribution(self):
+        from repro.core import kernel_backend
+
+        before = snapshot_process_counters()
+        assert "shm.attach_cache.hits" in before
+        assert "shm.attach_cache.misses" in before
+        with kernel_backend.use("numpy"):
+            kernel_backend.fused("mgt_block_scan")
+        after = snapshot_process_counters()
+        delta = counter_delta(after, before)
+        assert delta.get("kernel.dispatch.mgt_block_scan.numpy") == 1

@@ -1,0 +1,135 @@
+"""Unit tests for the hierarchical span tracer and its null path."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    as_tracer,
+)
+from repro.obs.tracer import _NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic monotonically increasing clock."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestTracer:
+    def test_span_records_event_on_end(self):
+        tracer = Tracer(track="t", clock=FakeClock())
+        span = tracer.span("phase_a", cat="phase", foo=1)
+        assert tracer.events == ()
+        span.end()
+        (event,) = tracer.events
+        assert event.name == "phase_a"
+        assert event.cat == "phase"
+        assert event.track == "t"
+        assert event.depth == 0
+        assert event.args_dict == {"foo": 1}
+        assert event.duration > 0
+
+    def test_nested_spans_track_depth(self):
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        inner.end()
+        outer.end()
+        events = tracer.events
+        assert [e.name for e in events] == ["outer", "inner"]
+        assert [e.depth for e in events] == [0, 1]
+
+    def test_events_sorted_by_entry_order_not_exit_order(self):
+        # outer exits last but entered first: seq order is enter order
+        tracer = Tracer(clock=FakeClock())
+        outer = tracer.span("outer")
+        first = tracer.span("first")
+        first.end()
+        second = tracer.span("second")
+        second.end()
+        outer.end()
+        assert [e.name for e in tracer.events] == ["outer", "first", "second"]
+        assert [e.seq for e in tracer.events] == [0, 1, 2]
+
+    def test_context_manager_and_annotate(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("work", items=3) as span:
+            span.annotate(done=True)
+        (event,) = tracer.events
+        assert event.args_dict == {"done": True, "items": 3}
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        span.annotate(ignored=True)
+        assert len(tracer.events) == 1
+        assert tracer.events[0].args_dict == {}
+
+    def test_end_kwargs_merge_into_args(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.span("scan", start=0).end(pairs=17)
+        (event,) = tracer.events
+        assert event.args_dict == {"pairs": 17, "start": 0}
+
+    def test_instant_marker(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("tick", cat="mark", n=1)
+        (event,) = tracer.events
+        assert event.duration == 0.0
+        assert event.cat == "mark"
+
+    def test_events_pickle_roundtrip(self):
+        tracer = Tracer(track="chunk3", clock=FakeClock())
+        tracer.span("chunk", chunk=3).end(triangles=9)
+        restored = pickle.loads(pickle.dumps(tracer.events))
+        assert restored == tracer.events
+
+    def test_retrack(self):
+        event = SpanEvent(
+            seq=0, name="n", cat="c", start=0.0, duration=1.0, depth=0,
+            track="a", args=(("k", 1),),
+        )
+        moved = event.retrack("b")
+        assert moved.track == "b"
+        assert moved.args == event.args
+        assert event.track == "a"
+
+
+class TestNullTracer:
+    def test_singleton_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert NULL_TRACER.events == ()
+
+    def test_span_returns_shared_null_span(self):
+        a = NULL_TRACER.span("anything", cat="phase", big="payload")
+        b = NULL_TRACER.span("other")
+        assert a is b is _NULL_SPAN
+
+    def test_null_span_noops(self):
+        with NULL_TRACER.span("x") as span:
+            assert span.annotate(k=1) is span
+        span.end(extra=2)
+        NULL_TRACER.instant("nothing")
+        assert NULL_TRACER.events == ()
+
+    def test_as_tracer_dispatch(self):
+        assert as_tracer(False) is NULL_TRACER
+        live = as_tracer(True, track="chunk0")
+        assert isinstance(live, Tracer)
+        assert live.track == "chunk0"
+        assert live.enabled is True

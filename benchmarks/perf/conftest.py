@@ -52,6 +52,9 @@ TRUSS_MIN_SPEEDUP = 5.0
 #: compiled kernel tier over the numpy tier, both mgt_counting and
 #: analytics_truss (test_perf_compiled); the tracked target is >=3x
 COMPILED_MIN_SPEEDUP = 2.0
+#: incremental GraphDelta.apply on a small batch over a full from-scratch
+#: truss recompute (test_perf_delta)
+DELTA_MIN_SPEEDUP = 5.0
 
 
 @pytest.fixture(autouse=True)

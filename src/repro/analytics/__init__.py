@@ -10,12 +10,19 @@ truss decomposition -- derives from them:
     vectorised k-truss peeling over edge supports
     (:func:`~repro.analytics.truss.truss_decomposition`), with a pinned
     scalar reference for the property tests.
+``delta``
+    the dynamic-graph mutation path: :class:`~repro.analytics.delta.GraphDelta`
+    batches of edge insertions/deletions applied with touched-edge support
+    deltas and a truncated peel replay, the full recompute pinned as the
+    equality oracle.
 ``pipeline``
     the one-call :func:`~repro.analytics.pipeline.run_analytics` driver
     fanning a single run into supports, per-vertex counts, clustering,
-    transitivity and trussness, plus figure-style report tables.
+    transitivity and trussness, plus figure-style report tables (and
+    optional ``deltas=`` mutation batches on top of the base run).
 """
 
+from repro.analytics.delta import DeltaResult, GraphDelta
 from repro.analytics.pipeline import AnalyticsResult, run_analytics
 from repro.analytics.truss import (
     TrussResult,
@@ -29,6 +36,8 @@ from repro.analytics.truss import (
 __all__ = [
     "AnalyticsResult",
     "run_analytics",
+    "DeltaResult",
+    "GraphDelta",
     "TrussResult",
     "canonical_edges",
     "truss_decomposition",

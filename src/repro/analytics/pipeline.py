@@ -66,6 +66,12 @@ class AnalyticsResult:
     remaining fields are derived as in the module docstring.  ``pdtl``
     keeps the full engine result (modelled times, per-node metrics, chunk
     accounting) for callers that want the performance story too.
+
+    ``triangles`` is stored rather than read off ``pdtl``: after applied
+    mutation batches (``run_analytics(..., deltas=...)``) every derived
+    field -- this count included -- describes the *mutated* graph, while
+    ``pdtl`` still describes the base run that produced the initial
+    supports.  ``deltas_applied`` says how many batches separate the two.
     """
 
     pdtl: PDTLResult
@@ -76,10 +82,8 @@ class AnalyticsResult:
     clustering: np.ndarray
     transitivity: float
     truss: TrussResult
-
-    @property
-    def triangles(self) -> int:
-        return self.pdtl.triangles
+    triangles: int
+    deltas_applied: int = 0
 
     @property
     def num_edges(self) -> int:
@@ -136,6 +140,7 @@ def run_analytics(
     graph: CSRGraph | GraphFile,
     config: PDTLConfig | None = None,
     backend: ExecutionBackend | str = "serial",
+    deltas: object = None,
     **config_overrides: object,
 ) -> AnalyticsResult:
     """Run PDTL once and fan the triangle stream into the full analytics set.
@@ -145,10 +150,26 @@ def run_analytics(
     as in :func:`repro.core.runner.edge_supports` (which this delegates
     to); the sink kind is forced to ``edge-support`` because everything
     downstream derives from the per-edge supports.
+
+    ``deltas`` -- one :class:`~repro.analytics.delta.GraphDelta` or a
+    sequence of them -- mutates the graph *after* the base run: each batch
+    is applied through the incremental maintenance path (touched-edge
+    support deltas, truncated peel replay), and every derived field of the
+    result describes the final mutated graph.  The engine runs exactly
+    once, on the input graph; with tracing on, the delta phases appear as
+    ``delta_*`` spans and ``delta.*`` counters on the run telemetry.
     """
     csr = graph.to_csr() if isinstance(graph, GraphFile) else graph
     if csr.directed:
         raise ValueError("run_analytics expects the undirected graph")
+    from repro.analytics.delta import GraphDelta
+
+    if deltas is None:
+        delta_batches: list[GraphDelta] = []
+    elif isinstance(deltas, GraphDelta):
+        delta_batches = [deltas]
+    else:
+        delta_batches = list(deltas)
 
     result = edge_supports(graph, config, backend=backend, **config_overrides)
     telemetry = result.telemetry
@@ -173,11 +194,10 @@ def run_analytics(
             edges=int(edges.shape[0]),
         )
 
-    per_vertex = per_vertex_counts_from_edge_supports(
-        csr.num_vertices, edges, supports
-    )
     truss_start = time.perf_counter()
-    truss = truss_decomposition(csr, supports=supports, edges=edges)
+    truss = truss_decomposition(
+        csr, supports=supports, edges=edges, keep_triangles=bool(delta_batches)
+    )
     if telemetry is not None:
         telemetry.record_span(
             "truss",
@@ -188,13 +208,31 @@ def run_analytics(
             max_k=truss.max_k,
             rounds=truss.rounds,
         )
+
+    final_csr = csr
+    triangles = result.triangles
+    for delta in delta_batches:
+        applied = delta.apply(
+            final_csr, prev=truss, supports=supports, telemetry=telemetry
+        )
+        final_csr = applied.graph
+        truss = applied.truss
+        edges = applied.edges
+        supports = applied.supports
+        triangles = applied.triangles
+
+    per_vertex = per_vertex_counts_from_edge_supports(
+        csr.num_vertices, edges, supports
+    )
     return AnalyticsResult(
         pdtl=result,
         num_vertices=csr.num_vertices,
         edges=edges,
         edge_supports=supports,
         per_vertex_counts=per_vertex,
-        clustering=clustering_coefficient(csr, per_vertex),
-        transitivity=transitivity(csr, result.triangles),
+        clustering=clustering_coefficient(final_csr, per_vertex),
+        transitivity=transitivity(final_csr, triangles),
         truss=truss,
+        triangles=triangles,
+        deltas_applied=len(delta_batches),
     )

@@ -103,6 +103,11 @@ class TrussResult:
     largest ``k`` whose k-truss contains ``edges[i]`` (``>= 2`` for every
     edge of a simple graph), ``support`` the *initial* per-edge supports
     the peeling started from, ``rounds`` the number of peel batches.
+    ``tri_edges`` is the ``(T, 3)`` canonical-edge-id triangle table the
+    peeling enumerated, retained only under
+    ``truss_decomposition(..., keep_triangles=True)`` -- the state the
+    dynamic-graph delta path (:mod:`repro.analytics.delta`) updates
+    incrementally instead of re-enumerating.
     """
 
     num_vertices: int
@@ -110,6 +115,7 @@ class TrussResult:
     trussness: np.ndarray
     support: np.ndarray
     rounds: int
+    tri_edges: np.ndarray | None = None
 
     @property
     def num_edges(self) -> int:
@@ -117,9 +123,11 @@ class TrussResult:
 
     @property
     def max_k(self) -> int:
-        """The largest ``k`` with a non-empty k-truss."""
+        """The largest ``k`` with a non-empty k-truss, or ``0`` when the
+        graph has no edges (every k-truss is empty, so no ``k`` qualifies --
+        previously this returned the misleading sentinel ``2``)."""
         if self.trussness.shape[0] == 0:
-            return 2
+            return 0
         return int(self.trussness.max())
 
     def truss_edge_mask(self, k: int) -> np.ndarray:
@@ -207,6 +215,7 @@ def truss_decomposition(
     graph: CSRGraph,
     supports: np.ndarray | None = None,
     edges: np.ndarray | None = None,
+    keep_triangles: bool = False,
 ) -> TrussResult:
     """Vectorised k-truss peeling of an undirected CSR graph.
 
@@ -223,6 +232,10 @@ def truss_decomposition(
     edges:
         the canonical edge array the supports are aligned with; derived
         from ``graph`` when omitted.
+    keep_triangles:
+        retain the ``(T, 3)`` triangle table on the result
+        (``TrussResult.tri_edges``) so the dynamic-graph delta path can
+        update it incrementally instead of re-enumerating.
 
     Algorithm: classic support peeling, batched, with the triangle
     structure materialised up front.  One pass of the shared counting
@@ -306,6 +319,7 @@ def truss_decomposition(
             trussness=trussness,
             support=initial_support,
             rounds=rounds,
+            tri_edges=tri_edges if keep_triangles else None,
         )
 
     while alive.any():
@@ -341,6 +355,7 @@ def truss_decomposition(
         trussness=trussness,
         support=initial_support,
         rounds=rounds,
+        tri_edges=tri_edges if keep_triangles else None,
     )
 
 

@@ -221,6 +221,7 @@ def _warmup_cases() -> dict[str, tuple]:
         "triangle_range": (indptr, indices, 0, 4, True),
         "count_cone_range": (indptr, indices, 0, 4),
         "edge_intersections": (indptr, indices, us, vs, True),
+        "edge_common_neighbors": (indptr, indices, us, vs),
         "mgt_block_scan": (
             block_adj,
             block_offsets,

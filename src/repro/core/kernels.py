@@ -70,6 +70,7 @@ __all__ = [
     "triangle_range",
     "count_cone_range",
     "edge_intersections",
+    "edge_common_neighbors",
 ]
 
 #: Compiled implementations installed by :func:`repro.core.kernel_backend.activate`,
@@ -437,6 +438,56 @@ def _edge_intersections_numpy(
     return int(np.count_nonzero(found))
 
 
+def edge_common_neighbors(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    csr_keys: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``N(u) ∩ N(v)`` for an arbitrary batch of edges, with provenance.
+
+    The enumeration twin of :func:`edge_intersections`: instead of counting
+    the common neighbours it returns them, as ``(owners, ws)`` where
+    ``owners[j]`` is the batch index of the edge whose intersection produced
+    ``ws[j]``.  Emission order is owner-major with ``ws`` ascending within
+    each owner (the order ``N(v)`` is stored in), identical across tiers.
+    This is the primitive of the dynamic-graph delta path: the triangles
+    through a touched edge ``(u, v)`` are exactly its common neighbours.
+
+    ``csr_keys``, when given, must equal ``csr_packed_keys(indptr, indices)``
+    -- a cache, not an independent input; the compiled tier intersects the
+    adjacency lists directly and never materialises the keys.
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    impl = _impl("edge_common_neighbors")
+    if impl is not None:
+        return impl(indptr, indices, us, vs)
+    return _edge_common_neighbors_numpy(indptr, indices, us, vs, csr_keys)
+
+
+def _edge_common_neighbors_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    csr_keys: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if csr_keys is None:
+        csr_keys = csr_packed_keys(indptr, indices)
+    num_vertices = int(indptr.shape[0] - 1)
+    seg_starts = indptr[vs]
+    seg_lengths = (indptr[vs + 1] - indptr[vs]).astype(np.int64)
+    ev_all, owners = segment_gather(indices, seg_starts, seg_lengths)
+    found = _sorted_membership_numpy(
+        csr_keys, packed_keys(us[owners], ev_all, num_vertices)
+    )
+    return owners[found], ev_all[found]
+
+
 #: The pure-numpy reference implementation of every dispatched primitive,
 #: by registry name.  Compiled backends are property-tested against these
 #: twins, and :func:`repro.core.kernel_backend.warmup` sanity-checks each
@@ -448,4 +499,5 @@ NUMPY_IMPLS = {
     "triangle_range": _triangle_range_numpy,
     "count_cone_range": _count_cone_range_numpy,
     "edge_intersections": _edge_intersections_numpy,
+    "edge_common_neighbors": _edge_common_neighbors_numpy,
 }

@@ -246,6 +246,50 @@ def _edge_intersections(indptr, indices, us, vs, per_edge):
 
 
 @_jit
+def _edge_common_neighbors(indptr, indices, us, vs):
+    # enumeration twin of _edge_intersections: emit (owner, w) for every
+    # w in N(u) ∩ N(v), owner-major with w ascending -- the numpy twin's
+    # segment-gather order
+    ne = us.shape[0]
+    gathered = 0
+    for e in range(ne):
+        v = vs[e]
+        gathered += indptr[v + 1] - indptr[v]
+    owners = np.empty(gathered, dtype=np.int64)
+    ws = np.empty(gathered, dtype=np.int64)
+    nhit = 0
+    for e in range(ne):
+        u = us[e]
+        v = vs[e]
+        ustart = indptr[u]
+        du = indptr[u + 1] - ustart
+        vstart = indptr[v]
+        dv = indptr[v + 1] - vstart
+        if du > 32 * dv:
+            nu = indices[ustart : ustart + du]
+            for j in range(dv):
+                w = indices[vstart + j]
+                pos = _lower_bound(nu, du, w)
+                if pos < du and nu[pos] == w:
+                    owners[nhit] = e
+                    ws[nhit] = w
+                    nhit += 1
+        else:
+            i = 0
+            for j in range(dv):
+                w = indices[vstart + j]
+                while i < du and indices[ustart + i] < w:
+                    i += 1
+                if i >= du:
+                    break
+                if indices[ustart + i] == w:
+                    owners[nhit] = e
+                    ws[nhit] = w
+                    nhit += 1
+    return owners[:nhit], ws[:nhit]
+
+
+@_jit
 def _mgt_block_count(block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees):
     nbv = block_offsets.shape[0] - 1
     pairs = 0
@@ -494,6 +538,7 @@ _RAW: dict[str, Callable] = {
     "triangle_count": _triangle_count,
     "triangle_list": _triangle_list,
     "edge_intersections": _edge_intersections,
+    "edge_common_neighbors": _edge_common_neighbors,
     "mgt_block_count": _mgt_block_count,
     "mgt_block_list": _mgt_block_list,
     "edge_support_accumulate": _edge_support_accumulate,
@@ -558,6 +603,11 @@ def _make_registry(raw: dict[str, Callable]) -> dict[str, Callable]:
             return counts
         return int(total)
 
+    def edge_common_neighbors(indptr, indices, us, vs):
+        return raw["edge_common_neighbors"](
+            as_i64(indptr), as_i64(indices), as_i64(us), as_i64(vs)
+        )
+
     def mgt_block_scan(
         block_adj, block_offsets, edg, vlow, vhigh, win_offsets, win_degrees, want_triples
     ):
@@ -616,6 +666,7 @@ def _make_registry(raw: dict[str, Callable]) -> dict[str, Callable]:
         "triangle_range": triangle_range,
         "count_cone_range": count_cone_range,
         "edge_intersections": edge_intersections,
+        "edge_common_neighbors": edge_common_neighbors,
         "mgt_block_scan": mgt_block_scan,
         "edge_support_accumulate": edge_support_accumulate,
         "truss_peel_level": truss_peel_level,

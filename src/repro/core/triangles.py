@@ -589,14 +589,88 @@ class EdgeSupportSink:
 
     # -- results ------------------------------------------------------------------
 
+    @classmethod
+    def from_supports(
+        cls,
+        edge_keys: np.ndarray,
+        num_vertices: int,
+        supports: np.ndarray,
+    ) -> "EdgeSupportSink":
+        """A dense sink re-hydrated from an already-merged support array.
+
+        The retention path of the dynamic-graph deltas: a finished run's
+        supports become sink state again so later batches can
+        :meth:`merge_delta` into them.  ``supports`` is copied (the sink
+        mutates it); ``count`` is restored from the support identity
+        ``Σ support = 3 · triangles``.
+        """
+        supports = np.asarray(supports, dtype=np.int64)
+        if supports.shape[0] != np.asarray(edge_keys).shape[0]:
+            raise ValueError("supports and edge_keys must have equal length")
+        if supports.shape[0] and int(supports.min()) < 0:
+            raise ValueError("supports must be non-negative")
+        sink = cls(edge_keys, num_vertices)
+        sink.support = supports.copy()
+        sink.count = int(supports.sum()) // 3
+        return sink
+
     def merge(self, other: "EdgeSupportSink") -> None:
-        """Combine partial supports exactly (dense mode on both sides)."""
-        if self.support is None or other.support is None:
-            raise ValueError("merge requires dense supports on both sinks")
-        if other.support.shape[0] != self.num_edges:
+        """Combine partial supports exactly, in any mode pairing.
+
+        Dense + dense is one array addition.  When either side spills, the
+        spilled side's sorted runs are drained through
+        :meth:`iter_position_counts` (bounded buffers, reads charged to its
+        spill device) and folded in -- into the dense array directly, or
+        re-recorded through the bounded spill buffer when *this* sink is
+        the spilling one.  Integer addition commutes, so every pairing and
+        order yields the same final supports; the dense+dense fast path is
+        untouched, keeping its accounting bit-identical.
+        """
+        if other.num_edges != self.num_edges:
             raise ValueError("cannot merge supports of different edge counts")
-        self.support += other.support
+        if self.support is not None and other.support is not None:
+            self.support += other.support
+        elif self.support is not None:
+            for positions, counts in other.iter_position_counts():
+                np.add.at(self.support, positions, counts)
+        else:
+            for positions, counts in other.iter_position_counts():
+                # re-expand in bounded slices: one dense batch may cover
+                # every edge, and this sink's whole point is a small buffer
+                for lo in range(0, positions.shape[0], 8192):
+                    hi = lo + 8192
+                    self._record(np.repeat(positions[lo:hi], counts[lo:hi]))
         self.count += other.count
+
+    def merge_delta(self, positions: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply signed support deltas exactly (dense mode only).
+
+        The dynamic-graph mutation path: deleted triangles contribute
+        ``-1`` per surviving edge, inserted ones ``+1`` -- integer
+        addition over sparse positions, the same exactness argument as
+        :meth:`merge`.  A delta that would drive any support negative is
+        corrupt input and raises with the sink untouched.  Spill mode is
+        refused: its state is a stream of positive increments, not a
+        mergeable array (callers re-hydrate via :meth:`from_supports`).
+        """
+        if self.support is None:
+            raise ValueError(
+                "merge_delta requires the dense support array; re-hydrate "
+                "spilled supports with EdgeSupportSink.from_supports first"
+            )
+        positions = np.asarray(positions, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if positions.shape != deltas.shape:
+            raise ValueError("positions and deltas must align")
+        if positions.shape[0] == 0:
+            return
+        if int(positions.min()) < 0 or int(positions.max()) >= self.num_edges:
+            raise ValueError("delta position out of range")
+        updated = self.support.copy()
+        np.add.at(updated, positions, deltas)
+        if int(updated.min()) < 0:
+            raise ValueError("support delta drives an edge support negative")
+        self.support = updated
 
     def iter_position_counts(
         self, buffer_items: int = 8192

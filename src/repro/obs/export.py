@@ -100,6 +100,15 @@ class RunTelemetry:
         self.events.append(event)
         return event
 
+    def record_counter(self, name: str, value: float) -> None:
+        """Accumulate a post-run counter (used by the analytics delta path).
+
+        Counters are additive across calls, matching the metrics-registry
+        convention, so repeated batches sum (``delta.touched_edges`` over a
+        chain of deltas is the chain total).
+        """
+        self.counters[name] = self.counters.get(name, 0) + value
+
     # -- derived views ----------------------------------------------------
 
     def counters_with_rates(self) -> dict[str, float]:

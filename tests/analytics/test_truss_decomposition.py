@@ -112,8 +112,44 @@ class TestTrussDecomposition:
         graph = CSRGraph.from_edgelist(EdgeList(np.empty((0, 2), dtype=np.int64), 5))
         result = truss_decomposition(graph)
         assert result.num_edges == 0
-        assert result.max_k == 2
+        # regression: max_k used to report the sentinel 2 although every
+        # k-truss of an edgeless graph is empty -- "the largest k with a
+        # non-empty k-truss" does not exist, so the explicit answer is 0
+        assert result.max_k == 0
         assert result.summary_rows() == []
+        assert result.truss_edge_mask(2).shape == (0,)
+
+    def test_truss_subgraph_above_max_k_preserves_vertices(self):
+        """k > max_k yields an empty truss that keeps the vertex universe.
+
+        The delta path deletes edges down to empty trusses, so the empty
+        kept-edge array must flow through ``CSRGraph.from_edgelist`` without
+        shape drift and the result must round-trip through another
+        decomposition on the same vertex ids.
+        """
+        graph = CSRGraph.from_edgelist(complete_graph(5))
+        result = truss_decomposition(graph)
+        sub = result.truss_subgraph(result.max_k + 3)
+        assert sub.num_vertices == graph.num_vertices
+        assert not sub.directed
+        assert canonical_edges(sub).shape == (0, 2)
+        again = truss_decomposition(sub)
+        assert again.num_vertices == graph.num_vertices
+        assert again.max_k == 0
+        assert again.truss_subgraph(2).num_vertices == graph.num_vertices
+
+    def test_keep_triangles_retains_table(self):
+        graph = CSRGraph.from_edgelist(erdos_renyi(40, 0.25, seed=7))
+        plain = truss_decomposition(graph)
+        kept = truss_decomposition(graph, keep_triangles=True)
+        assert plain.tri_edges is None
+        assert kept.tri_edges is not None and kept.tri_edges.shape[1] == 3
+        # the table is the real triangle set: supports are its bincount
+        m = kept.num_edges
+        np.testing.assert_array_equal(
+            np.bincount(kept.tri_edges.reshape(-1), minlength=m), kept.support
+        )
+        np.testing.assert_array_equal(plain.trussness, kept.trussness)
 
     def test_matches_reference_on_random_graph(self):
         graph = CSRGraph.from_edgelist(erdos_renyi(70, 0.2, seed=11))

@@ -348,11 +348,202 @@ class TestEdgeSupportSink:
             stats.append(device.stats.as_dict())
         assert stats[0] == stats[1]
 
-    def test_spill_merge_rejected(self, oriented_stream, tmp_path):
+    def _spill_sink(self, keys, num_vertices, device, budget=64):
+        from repro.core.triangles import EdgeSupportSink
+
+        return EdgeSupportSink(
+            keys,
+            num_vertices,
+            spill_file=device.open("s.run"),
+            memory_budget_bytes=budget,
+        )
+
+    def test_cross_mode_merge_both_orders(self, oriented_stream, tmp_path):
+        """Regression: merge used to require dense mode on both sides.
+
+        A spilled sink must merge into a dense one (runs drained through
+        the bounded k-way merge) and vice versa (batches re-recorded
+        through the spill buffer), in either order, with a tiny budget.
+        """
         from repro.core.triangles import EdgeSupportSink
         from repro.externalmem.blockio import BlockDevice
 
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        whole = EdgeSupportSink(keys, oriented.num_vertices)
+        whole.add_triples(cones, vs, ws)
+        cut = ws.shape[0] // 2
+
+        # dense.merge(spilled)
+        dense = EdgeSupportSink(keys, oriented.num_vertices)
+        dense.add_triples(cones[:cut], vs[:cut], ws[:cut])
+        spill = self._spill_sink(
+            keys, oriented.num_vertices, BlockDevice(tmp_path / "a", block_size=512)
+        )
+        spill.add_triples(cones[cut:], vs[cut:], ws[cut:])
+        dense.merge(spill)
+        np.testing.assert_array_equal(dense.supports(), whole.supports())
+        assert dense.count == whole.count
+
+        # spilled.merge(dense)
+        spill2 = self._spill_sink(
+            keys, oriented.num_vertices, BlockDevice(tmp_path / "b", block_size=512)
+        )
+        spill2.add_triples(cones[cut:], vs[cut:], ws[cut:])
+        dense2 = EdgeSupportSink(keys, oriented.num_vertices)
+        dense2.add_triples(cones[:cut], vs[:cut], ws[:cut])
+        spill2.merge(dense2)
+        assert spill2.spilling
+        np.testing.assert_array_equal(spill2.supports(), whole.supports())
+        assert spill2.count == whole.count
+
+    def test_cross_mode_merge_empty_sides(self, oriented_stream, tmp_path):
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        whole = EdgeSupportSink(keys, oriented.num_vertices)
+        whole.add_triples(cones, vs, ws)
+
+        # empty spilled side folded into a populated dense side, and an
+        # empty dense side folded into a populated spilled one
+        dense = EdgeSupportSink(keys, oriented.num_vertices)
+        dense.add_triples(cones, vs, ws)
+        empty_spill = self._spill_sink(
+            keys, oriented.num_vertices, BlockDevice(tmp_path / "a", block_size=512)
+        )
+        dense.merge(empty_spill)
+        np.testing.assert_array_equal(dense.supports(), whole.supports())
+
+        spill = self._spill_sink(
+            keys, oriented.num_vertices, BlockDevice(tmp_path / "b", block_size=512)
+        )
+        spill.add_triples(cones, vs, ws)
+        spill.merge(EdgeSupportSink(keys, oriented.num_vertices))
+        np.testing.assert_array_equal(spill.supports(), whole.supports())
+
+    def test_spill_spill_merge(self, oriented_stream, tmp_path):
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        cut = ws.shape[0] // 2
+        a = self._spill_sink(
+            keys, oriented.num_vertices, BlockDevice(tmp_path / "a", block_size=512)
+        )
+        a.add_triples(cones[:cut], vs[:cut], ws[:cut])
+        b = self._spill_sink(
+            keys, oriented.num_vertices, BlockDevice(tmp_path / "b", block_size=512)
+        )
+        b.add_triples(cones[cut:], vs[cut:], ws[cut:])
+        a.merge(b)
+        from repro.core.triangles import EdgeSupportSink
+
+        whole = EdgeSupportSink(keys, oriented.num_vertices)
+        whole.add_triples(cones, vs, ws)
+        np.testing.assert_array_equal(a.supports(), whole.supports())
+
+    def test_cross_mode_merge_io_deterministic(self, oriented_stream, tmp_path):
+        """Same streams + budget => identical IOStats for the cross merge."""
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, (cones, vs, ws) = oriented_stream
+        stats = []
+        for run in range(2):
+            device = BlockDevice(tmp_path / f"dev{run}", block_size=512)
+            spill = self._spill_sink(keys, oriented.num_vertices, device, budget=256)
+            spill.add_triples(cones, vs, ws)
+            dense = EdgeSupportSink(keys, oriented.num_vertices)
+            dense.merge(spill)
+            stats.append(device.stats.as_dict())
+        assert stats[0] == stats[1]
+
+    def test_merge_edge_count_mismatch_raises(self, oriented_stream):
+        from repro.core.triangles import EdgeSupportSink
+
         oriented, keys, _ = oriented_stream
+        a = EdgeSupportSink(keys, oriented.num_vertices)
+        b = EdgeSupportSink(keys[:-1], oriented.num_vertices)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestEdgeSupportSinkDelta:
+    """from_supports re-hydration + signed merge_delta (dynamic-graph path)."""
+
+    @pytest.fixture()
+    def sink_state(self):
+        from repro.core import kernels
+        from repro.core.orientation import orient_csr
+        from repro.core.triangles import EdgeSupportSink, oriented_edge_keys
+        from repro.graph.csr import CSRGraph
+        from repro.graph.generators import rmat
+
+        oriented = orient_csr(CSRGraph.from_edgelist(rmat(6, edge_factor=8, seed=5)))
+        keys = oriented_edge_keys(oriented)
+        cones, vs, ws, _ = kernels.triangle_range(
+            oriented.indptr, oriented.indices, 0, oriented.num_vertices,
+            want_triples=True,
+        )
+        sink = EdgeSupportSink(keys, oriented.num_vertices)
+        sink.add_triples(cones, vs, ws)
+        return oriented, keys, sink
+
+    def test_from_supports_round_trip(self, sink_state):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, sink = sink_state
+        rehydrated = EdgeSupportSink.from_supports(
+            keys, oriented.num_vertices, sink.supports()
+        )
+        np.testing.assert_array_equal(rehydrated.supports(), sink.supports())
+        assert rehydrated.count == sink.count
+        # copied, not aliased
+        rehydrated.support[0] += 1
+        assert rehydrated.support[0] == sink.supports()[0] + 1
+
+    def test_from_supports_rejects_bad_input(self, sink_state):
+        from repro.core.triangles import EdgeSupportSink
+
+        oriented, keys, sink = sink_state
+        with pytest.raises(ValueError):
+            EdgeSupportSink.from_supports(
+                keys, oriented.num_vertices, sink.supports()[:-1]
+            )
+        bad = sink.supports().copy()
+        bad[0] = -1
+        with pytest.raises(ValueError):
+            EdgeSupportSink.from_supports(keys, oriented.num_vertices, bad)
+
+    def test_merge_delta_is_exact_integer_addition(self, sink_state):
+        oriented, keys, sink = sink_state
+        before = sink.supports().copy()
+        positions = np.array([0, 2, 2, 1], dtype=np.int64)
+        deltas = np.array([1, -1, 2, 0], dtype=np.int64)
+        sink.merge_delta(positions, deltas)
+        want = before.copy()
+        np.add.at(want, positions, deltas)
+        np.testing.assert_array_equal(sink.supports(), want)
+
+    def test_merge_delta_negative_result_rejected_untouched(self, sink_state):
+        oriented, keys, sink = sink_state
+        before = sink.supports().copy()
+        huge = np.int64(before.max() + 1)
+        with pytest.raises(ValueError):
+            sink.merge_delta(np.array([0]), np.array([-huge]))
+        np.testing.assert_array_equal(sink.supports(), before)
+
+    def test_merge_delta_out_of_range_rejected(self, sink_state):
+        oriented, keys, sink = sink_state
+        with pytest.raises(ValueError):
+            sink.merge_delta(np.array([sink.num_edges]), np.array([1]))
+        with pytest.raises(ValueError):
+            sink.merge_delta(np.array([0, 1]), np.array([1]))
+
+    def test_merge_delta_spill_mode_refused(self, sink_state, tmp_path):
+        from repro.core.triangles import EdgeSupportSink
+        from repro.externalmem.blockio import BlockDevice
+
+        oriented, keys, _ = sink_state
         device = BlockDevice(tmp_path, block_size=512)
         spill = EdgeSupportSink(
             keys,
@@ -360,11 +551,8 @@ class TestEdgeSupportSink:
             spill_file=device.open("s.run"),
             memory_budget_bytes=64,
         )
-        dense = EdgeSupportSink(keys, oriented.num_vertices)
         with pytest.raises(ValueError):
-            spill.merge(dense)
-        with pytest.raises(ValueError):
-            dense.merge(spill)
+            spill.merge_delta(np.array([0]), np.array([1]))
 
 
 class TestSinkRegistry:

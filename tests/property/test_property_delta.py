@@ -1,0 +1,178 @@
+"""Property tests: GraphDelta vs the full-recompute oracle.
+
+The contract of :class:`~repro.analytics.delta.GraphDelta` is exact
+equality with a from-scratch ``truss_decomposition`` of the mutated
+graph -- not approximate, not "equivalent up to peel order".  The suite
+drives random insert/delete batches (including no-op, duplicate, and
+self-inverse batches) over arbitrary random graphs and the named graph
+families, always with ``verify=True`` so the delta path re-checks itself
+against the oracle inline, then pins the result fields again here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analytics import GraphDelta, truss_decomposition
+from repro.analytics.truss import canonical_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    planar_grid,
+    power_law_degree_graph,
+    ring_graph,
+    watts_strogatz,
+)
+
+SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_batch(draw, max_vertices: int = 24, max_extra_edges: int = 90):
+    """A random simple graph plus a random mutation batch over it.
+
+    The batch mixes present and absent edges on both sides so no-op
+    deletions/insertions, duplicates, and delete+insert overlaps all get
+    generated.
+    """
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    max_possible = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_extra_edges, max_possible)))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    iu, iv = np.triu_indices(n, k=1)
+    chosen = rng.choice(iu.shape[0], size=min(m, iu.shape[0]), replace=False)
+    edges = np.stack([iu[chosen], iv[chosen]], axis=1)
+    graph = CSRGraph.from_edgelist(EdgeList(edges, n))
+
+    num_ins = draw(st.integers(min_value=0, max_value=8))
+    num_del = draw(st.integers(min_value=0, max_value=8))
+    pool = np.stack([iu, iv], axis=1)
+    ins = pool[rng.integers(0, pool.shape[0], size=num_ins)]
+    dels = pool[rng.integers(0, pool.shape[0], size=num_del)]
+    # duplicates within a batch are part of the contract
+    if num_ins and draw(st.booleans()):
+        ins = np.concatenate([ins, ins[:1]])
+    if num_del and draw(st.booleans()):
+        dels = np.concatenate([dels, dels[:1]])
+    return graph, ins, dels
+
+
+def _check_against_oracle(applied):
+    oracle = truss_decomposition(applied.graph)
+    np.testing.assert_array_equal(applied.truss.edges, oracle.edges)
+    np.testing.assert_array_equal(applied.truss.support, oracle.support)
+    np.testing.assert_array_equal(applied.truss.trussness, oracle.trussness)
+    assert applied.truss.num_vertices == oracle.num_vertices
+
+
+@given(case=graph_and_batch())
+@settings(**SETTINGS)
+def test_random_batch_matches_full_recompute(case):
+    graph, ins, dels = case
+    prev = truss_decomposition(graph, keep_triangles=True)
+    applied = GraphDelta(insertions=ins, deletions=dels).apply(
+        graph, prev=prev, verify=True
+    )
+    _check_against_oracle(applied)
+
+
+@given(case=graph_and_batch())
+@settings(**SETTINGS)
+def test_self_inverse_batch_round_trips(case):
+    """delete(B) then insert(realised B) restores the graph exactly."""
+    graph, _, dels = case
+    prev = truss_decomposition(graph, keep_triangles=True)
+    removed = GraphDelta(deletions=dels).apply(graph, prev=prev, verify=True)
+    restored = GraphDelta(insertions=removed.deleted).apply(
+        removed.graph, prev=removed.truss, supports=removed.sink, verify=True
+    )
+    np.testing.assert_array_equal(restored.truss.edges, prev.edges)
+    np.testing.assert_array_equal(restored.truss.trussness, prev.trussness)
+    np.testing.assert_array_equal(restored.truss.support, prev.support)
+
+
+@given(case=graph_and_batch())
+@settings(**SETTINGS)
+def test_noop_batch_is_identity(case):
+    """Inserting present edges and deleting absent ones changes nothing."""
+    graph, _, _ = case
+    present = canonical_edges(graph)
+    n = graph.num_vertices
+    key = present[:, 0] * np.int64(n) + present[:, 1] if present.shape[0] else None
+    iu, iv = np.triu_indices(n, k=1)
+    all_keys = iu * np.int64(n) + iv
+    absent_mask = (
+        ~np.isin(all_keys, key) if key is not None else np.ones_like(all_keys, bool)
+    )
+    absent = np.stack([iu[absent_mask], iv[absent_mask]], axis=1)
+
+    prev = truss_decomposition(graph, keep_triangles=True)
+    applied = GraphDelta(
+        insertions=present[:4], deletions=absent[:4]
+    ).apply(graph, prev=prev, verify=True)
+    assert applied.touched_edges == 0
+    assert applied.replayed_levels == 0
+    np.testing.assert_array_equal(applied.truss.trussness, prev.trussness)
+    np.testing.assert_array_equal(applied.truss.support, prev.support)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_erdos_renyi_family(seed):
+    rng = np.random.default_rng(seed)
+    graph = CSRGraph.from_edgelist(
+        erdos_renyi(int(rng.integers(20, 70)), float(rng.uniform(0.1, 0.3)), seed=seed)
+    )
+    edges = canonical_edges(graph)
+    prev = truss_decomposition(graph, keep_triangles=True)
+    pick = rng.choice(edges.shape[0], size=min(6, edges.shape[0]), replace=False)
+    applied = GraphDelta(
+        deletions=edges[pick], insertions=[(0, graph.num_vertices - 1)]
+    ).apply(graph, prev=prev, verify=True)
+    _check_against_oracle(applied)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_power_law_family(seed):
+    graph = CSRGraph.from_edgelist(
+        power_law_degree_graph(
+            200, exponent=2.2, min_degree=2, max_degree=30, seed=seed
+        )
+    )
+    edges = canonical_edges(graph)
+    rng = np.random.default_rng(seed)
+    prev = truss_decomposition(graph, keep_triangles=True)
+    pick = rng.choice(edges.shape[0], size=8, replace=False)
+    applied = GraphDelta(deletions=edges[pick]).apply(graph, prev=prev, verify=True)
+    _check_against_oracle(applied)
+
+
+@pytest.mark.parametrize(
+    "edges",
+    [
+        complete_graph(7),
+        ring_graph(9),
+        planar_grid(4, 5, diagonals=True),
+        watts_strogatz(30, 4, 0.2, seed=1),
+    ],
+    ids=["complete", "ring", "grid", "watts_strogatz"],
+)
+def test_structured_families(edges):
+    graph = CSRGraph.from_edgelist(edges)
+    canon = canonical_edges(graph)
+    prev = truss_decomposition(graph, keep_triangles=True)
+    applied = GraphDelta(deletions=canon[::3]).apply(graph, prev=prev, verify=True)
+    _check_against_oracle(applied)
+    # and the inverse restores the family graph
+    restored = GraphDelta(insertions=applied.deleted).apply(
+        applied.graph, prev=applied.truss, supports=applied.sink, verify=True
+    )
+    np.testing.assert_array_equal(restored.truss.trussness, prev.trussness)

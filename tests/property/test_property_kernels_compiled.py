@@ -207,6 +207,29 @@ def test_edge_intersections_matches_numpy(registry, graph, data):
     ) == int(np.sum(want))
 
 
+@REGISTRY_PARAMS
+@given(graph=random_graphs(), data=st.data())
+@settings(**SETTINGS)
+def test_edge_common_neighbors_matches_numpy(registry, graph, data):
+    """The delta path's triangle enumerator: identical (owner, w) streams."""
+    if "edge_common_neighbors" not in registry:
+        pytest.skip("registry has no edge_common_neighbors (numpy fallback)")
+    n = graph.num_vertices
+    ne = data.draw(st.integers(min_value=0, max_value=12))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    us = rng.integers(0, n, size=ne, dtype=np.int64)
+    vs = rng.integers(0, n, size=ne, dtype=np.int64)
+    want_owners, want_ws = kernels.NUMPY_IMPLS["edge_common_neighbors"](
+        graph.indptr, graph.indices, us, vs
+    )
+    got_owners, got_ws = registry["edge_common_neighbors"](
+        graph.indptr, graph.indices, us, vs
+    )
+    np.testing.assert_array_equal(got_owners, want_owners)
+    np.testing.assert_array_equal(got_ws, want_ws)
+
+
 # -- fused kernels vs in-test references ------------------------------------
 
 
